@@ -1,0 +1,79 @@
+// Baseline: the O(d * prod |Si|) brute force of Section 3, versus the
+// Indexed Lookup Eager algorithm, on small in-memory lists. The paper
+// dismisses the brute force for being exponential in k and blocking;
+// this bench shows the blow-up directly — every added list multiplies
+// its cost while IL stays essentially linear in |S1|.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "slca/brute_force.h"
+#include "slca/keyword_list.h"
+#include "slca/slca.h"
+
+namespace xksearch {
+namespace bench {
+namespace {
+
+std::vector<std::vector<DeweyId>> MakeLists(size_t k, size_t size) {
+  Rng rng(1234);
+  std::vector<std::vector<DeweyId>> lists(k);
+  for (auto& list : lists) {
+    std::vector<DeweyId> ids;
+    for (size_t i = 0; i < size; ++i) {
+      ids.push_back(DeweyId({0, static_cast<uint32_t>(rng.Uniform(50)),
+                             static_cast<uint32_t>(rng.Uniform(20)),
+                             static_cast<uint32_t>(rng.Uniform(10))}));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    list = std::move(ids);
+  }
+  return lists;
+}
+
+void BruteForce(benchmark::State& state) {
+  const auto lists = MakeLists(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    std::vector<DeweyId> result = BruteForceSlca(lists);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+
+void IndexedLookup(benchmark::State& state) {
+  const auto lists = MakeLists(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  QueryStats stats;
+  std::vector<std::unique_ptr<KeywordList>> owned;
+  std::vector<KeywordList*> ptrs;
+  for (const auto& list : lists) {
+    owned.push_back(std::make_unique<VectorKeywordList>(&list, &stats));
+    ptrs.push_back(owned.back().get());
+  }
+  for (auto _ : state) {
+    Result<std::vector<DeweyId>> result =
+        ComputeSlcaList(SlcaAlgorithm::kIndexedLookupEager, ptrs, {}, &stats);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+
+void BaselineArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t k : {2, 3, 4}) {
+    for (int64_t size : {4, 8, 16, 32}) {
+      b->Args({k, size});
+    }
+  }
+  b->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+}
+
+BENCHMARK(BruteForce)->Apply(BaselineArgs);
+BENCHMARK(IndexedLookup)->Apply(BaselineArgs);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xksearch
+
+BENCHMARK_MAIN();

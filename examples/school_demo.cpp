@@ -1,0 +1,69 @@
+// The paper's running example (Figure 1, School.xml): the query
+// {John, Ben} and its three smallest answer subtrees, computed by all
+// three algorithms, plus the Section 5 All-LCA extension.
+
+#include <cstdio>
+#include <string>
+
+#include "engine/xksearch.h"
+#include "gen/school.h"
+#include "xml/parser.h"
+
+int main() {
+  using namespace xksearch;  // NOLINT: example brevity
+
+  Document school = BuildSchoolDocument();
+  std::printf("School.xml (%zu nodes):\n%s\n", school.node_count(),
+              SerializeXml(school, /*indent=*/true).c_str());
+
+  Result<std::unique_ptr<XKSearch>> system =
+      XKSearch::BuildFromDocument(std::move(school));
+  if (!system.ok()) {
+    std::fprintf(stderr, "%s\n", system.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("keyword frequencies: john=%llu ben=%llu\n\n",
+              static_cast<unsigned long long>((*system)->Frequency("john")),
+              static_cast<unsigned long long>((*system)->Frequency("ben")));
+
+  // All three algorithms return the same three SLCAs: Ben is the TA of
+  // John's CS2A class, Ben is a student in the CS3A class John teaches,
+  // and both play on the baseball team.
+  for (AlgorithmChoice choice :
+       {AlgorithmChoice::kIndexedLookupEager, AlgorithmChoice::kScanEager,
+        AlgorithmChoice::kStack}) {
+    SearchOptions options;
+    options.algorithm = choice;
+    Result<SearchResult> result = (*system)->Search({"John", "Ben"}, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("--- %s ---\n", ToString(result->algorithm).c_str());
+    for (const DeweyId& node : result->nodes) {
+      Result<std::string> snippet = (*system)->Snippet(node, 200);
+      std::printf("  slca %-10s %s\n", node.ToString().c_str(),
+                  snippet.ok() ? snippet->c_str() : "<error>");
+    }
+    std::printf("  cost: %s\n\n", result->stats.ToString().c_str());
+  }
+
+  // Section 5: every LCA, not only the smallest ones. Ancestors such as
+  // <classes> and the document root now qualify too.
+  SearchOptions all_lca;
+  all_lca.semantics = Semantics::kAllLca;
+  Result<SearchResult> lcas = (*system)->Search({"John", "Ben"}, all_lca);
+  if (!lcas.ok()) {
+    std::fprintf(stderr, "%s\n", lcas.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("--- all LCAs (Section 5) ---\n");
+  for (const DeweyId& node : lcas->nodes) {
+    const Document& doc = (*system)->document();
+    Result<NodeId> n = doc.FindByDewey(node);
+    std::printf("  lca %-10s <%s>\n", node.ToString().c_str(),
+                n.ok() ? std::string(doc.tag(*n)).c_str() : "?");
+  }
+  return 0;
+}

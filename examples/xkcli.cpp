@@ -1,0 +1,201 @@
+// Command-line XKSearch: index an XML file and answer keyword queries,
+// either from the command line or interactively — a terminal version of
+// the paper's online DBLP demo.
+//
+// Usage:
+//   xkcli <file.xml> [keyword ...]      run one query and exit
+//   xkcli <file.xml>                    interactive prompt (one query
+//                                       per line; blank line to quit)
+//   xkcli <a.xml> <b.xml> ... -- [kw..] search a whole collection
+// Prefix a query with "lca:" (all LCAs, Section 5) or "elca:" (XRANK
+// exhaustive LCAs), "explain:" for an execution report, or "il:",
+// "scan:", "stack:" to force an algorithm.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/collection.h"
+#include "engine/xksearch.h"
+
+namespace {
+
+using xksearch::AlgorithmChoice;
+using xksearch::SearchOptions;
+
+bool ConsumePrefix(std::string* line, const std::string& prefix) {
+  if (line->rfind(prefix, 0) != 0) return false;
+  line->erase(0, prefix.size());
+  return true;
+}
+
+void RunQuery(const xksearch::XKSearch& system, std::string line) {
+  SearchOptions options;
+  if (ConsumePrefix(&line, "explain:")) {
+    std::vector<std::string> keywords;
+    std::istringstream words(line);
+    std::string word;
+    while (words >> word) keywords.push_back(word);
+    if (keywords.empty()) return;
+    xksearch::Result<std::string> report = system.Explain(keywords, options);
+    std::printf("%s", report.ok() ? report->c_str()
+                                  : report.status().ToString().c_str());
+    return;
+  }
+  if (ConsumePrefix(&line, "lca:")) {
+    options.semantics = xksearch::Semantics::kAllLca;
+  } else if (ConsumePrefix(&line, "elca:")) {
+    options.semantics = xksearch::Semantics::kElca;
+  }
+  if (ConsumePrefix(&line, "il:")) {
+    options.algorithm = AlgorithmChoice::kIndexedLookupEager;
+  } else if (ConsumePrefix(&line, "scan:")) {
+    options.algorithm = AlgorithmChoice::kScanEager;
+  } else if (ConsumePrefix(&line, "stack:")) {
+    options.algorithm = AlgorithmChoice::kStack;
+  }
+
+  std::vector<std::string> keywords;
+  std::istringstream words(line);
+  std::string word;
+  while (words >> word) keywords.push_back(word);
+  if (keywords.empty()) return;
+
+  xksearch::Result<xksearch::SearchResult> result =
+      system.Search(keywords, options);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  const char* kind = options.semantics == xksearch::Semantics::kAllLca
+                         ? "LCAs"
+                         : options.semantics == xksearch::Semantics::kElca
+                               ? "ELCAs"
+                               : "SLCAs";
+  std::printf("%zu %s via %s   [%s]\n", result->nodes.size(), kind,
+              ToString(result->algorithm).c_str(),
+              result->stats.ToString().c_str());
+  for (const xksearch::DeweyId& node : result->nodes) {
+    xksearch::Result<std::string> snippet = system.Snippet(node, 240);
+    std::printf("  [%s] %s\n", node.ToString().c_str(),
+                snippet.ok() ? snippet->c_str() : "<snippet error>");
+  }
+}
+
+void RunCollectionQuery(const xksearch::Collection& collection,
+                        std::string line) {
+  SearchOptions options;
+  std::vector<std::string> keywords;
+  std::istringstream words(line);
+  std::string word;
+  while (words >> word) keywords.push_back(word);
+  if (keywords.empty()) return;
+  xksearch::Result<std::vector<xksearch::Collection::DocumentHit>> hits =
+      collection.Search(keywords, options);
+  if (!hits.ok()) {
+    std::printf("error: %s\n", hits.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu documents with answers\n", hits->size());
+  for (const auto& hit : *hits) {
+    std::printf("  %s: %zu answers\n", hit.document.c_str(),
+                hit.result.nodes.size());
+    const xksearch::XKSearch* system = collection.Find(hit.document);
+    const size_t show = std::min<size_t>(hit.result.nodes.size(), 2);
+    for (size_t i = 0; i < show && system != nullptr; ++i) {
+      xksearch::Result<std::string> snippet =
+          system->Snippet(hit.result.nodes[i], 160);
+      std::printf("    [%s] %s\n", hit.result.nodes[i].ToString().c_str(),
+                  snippet.ok() ? snippet->c_str() : "<error>");
+    }
+  }
+}
+
+int RunCollectionMode(const std::vector<std::string>& files,
+                      const std::vector<std::string>& keywords) {
+  xksearch::Collection collection;
+  for (const std::string& file : files) {
+    xksearch::Status st = collection.AddFile(file);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(), st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("collection of %zu documents\n", collection.size());
+  if (!keywords.empty()) {
+    std::string line;
+    for (const std::string& kw : keywords) line += kw + " ";
+    RunCollectionQuery(collection, line);
+    return 0;
+  }
+  std::string line;
+  std::printf("query> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line) && !line.empty()) {
+    RunCollectionQuery(collection, line);
+    std::printf("query> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.xml> [keyword ...]\n", argv[0]);
+    return 2;
+  }
+
+  // Collection mode: several XML files, optionally "--" then keywords.
+  std::vector<std::string> files;
+  std::vector<std::string> keywords_after_dashdash;
+  bool seen_dashdash = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--") {
+      seen_dashdash = true;
+    } else if (seen_dashdash) {
+      keywords_after_dashdash.push_back(arg);
+    } else if (arg.size() > 4 && arg.substr(arg.size() - 4) == ".xml") {
+      files.push_back(arg);
+    } else {
+      files.clear();  // mixed args: fall through to single-file mode
+      break;
+    }
+  }
+  if (files.size() > 1) {
+    return RunCollectionMode(files, keywords_after_dashdash);
+  }
+  xksearch::Result<std::unique_ptr<xksearch::XKSearch>> system =
+      xksearch::XKSearch::BuildFromFile(argv[1]);
+  if (!system.ok()) {
+    std::fprintf(stderr, "%s\n", system.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %s: %zu nodes, %zu keywords\n", argv[1],
+              (*system)->document().node_count(),
+              (*system)->index().term_count());
+
+  if (argc > 2) {
+    std::string line;
+    for (int i = 2; i < argc; ++i) {
+      if (i > 2) line += ' ';
+      line += argv[i];
+    }
+    RunQuery(**system, line);
+    return 0;
+  }
+
+  std::string line;
+  std::printf("query> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line) && !line.empty()) {
+    RunQuery(**system, line);
+    std::printf("query> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#ifndef XKSEARCH_COMMON_RESULT_H_
+#define XKSEARCH_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace xksearch {
+
+/// \brief A value-or-error holder, modeled after arrow::Result.
+///
+/// Exactly one of the two states is active. Accessing the value of an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if the Result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out, leaving the Result unspecified.
+  T MoveValueUnsafe() {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define XKS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = tmp.MoveValueUnsafe()
+
+#define XKS_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define XKS_ASSIGN_OR_RETURN_NAME(x, y) XKS_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define XKS_ASSIGN_OR_RETURN(lhs, expr) \
+  XKS_ASSIGN_OR_RETURN_IMPL(            \
+      XKS_ASSIGN_OR_RETURN_NAME(_xks_result_, __LINE__), lhs, expr)
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_COMMON_RESULT_H_

@@ -1,0 +1,79 @@
+#ifndef XKSEARCH_COMMON_RNG_H_
+#define XKSEARCH_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xksearch {
+
+/// \brief Small deterministic PRNG (xorshift128+) used by the workload
+/// generators and property tests so experiments are reproducible across
+/// runs and platforms (std::mt19937 distributions are not portable).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding to avoid weak all-zero-ish states.
+    uint64_t z = seed;
+    for (uint64_t* s : {&s0_, &s1_}) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      *s = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) s0_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    // Rejection sampling to remove modulo bias.
+    const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % n);
+    uint64_t x;
+    do {
+      x = Next();
+    } while (x >= limit);
+    return x % n;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_COMMON_RNG_H_

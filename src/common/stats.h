@@ -1,0 +1,48 @@
+#ifndef XKSEARCH_COMMON_STATS_H_
+#define XKSEARCH_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xksearch {
+
+/// \brief Operation counters gathered while evaluating a query.
+///
+/// These back the Table 1 reproduction: the paper characterizes each
+/// algorithm by its number of lm/rm ("match") operations, Dewey-number
+/// comparisons, and disk accesses. All counters reset per query.
+struct QueryStats {
+  /// Left/right match operations (lm/rm calls), the paper's "# operations".
+  uint64_t match_ops = 0;
+  /// Dewey number comparisons performed by match ops and merges.
+  uint64_t dewey_comparisons = 0;
+  /// LCA (longest-common-prefix) computations.
+  uint64_t lca_ops = 0;
+  /// Nodes read from keyword lists (postings touched).
+  uint64_t postings_read = 0;
+  /// Buffer-pool misses, i.e. the paper's "number of disk accesses".
+  uint64_t page_reads = 0;
+  /// Buffer-pool hits (satisfied from cache).
+  uint64_t page_hits = 0;
+  /// SLCA/LCA results produced.
+  uint64_t results = 0;
+
+  void Reset() { *this = QueryStats(); }
+
+  QueryStats& operator+=(const QueryStats& o) {
+    match_ops += o.match_ops;
+    dewey_comparisons += o.dewey_comparisons;
+    lca_ops += o.lca_ops;
+    postings_read += o.postings_read;
+    page_reads += o.page_reads;
+    page_hits += o.page_hits;
+    results += o.results;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_COMMON_STATS_H_

@@ -1,0 +1,122 @@
+#ifndef XKSEARCH_DEWEY_DEWEY_ID_H_
+#define XKSEARCH_DEWEY_DEWEY_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xksearch {
+
+/// \brief A Dewey number identifying a node in a labeled ordered tree.
+///
+/// The Dewey number of a node is the Dewey number of its parent followed by
+/// the node's ordinal among its siblings; the root of a document is `0`.
+/// Dewey order is document (preorder) order: component-wise numeric
+/// comparison with a proper prefix ordering before its extensions, e.g.
+/// 0.1 < 0.1.0 < 0.1.1 < 0.2 (paper Section 2).
+///
+/// The empty Dewey number is valid and acts as a virtual super-root: it is
+/// an ancestor of every id and the identity element of Lca().
+class DeweyId {
+ public:
+  DeweyId() = default;
+  explicit DeweyId(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+  DeweyId(std::initializer_list<uint32_t> components)
+      : components_(components) {}
+
+  /// The document root, Dewey number "0".
+  static DeweyId Root() { return DeweyId({0}); }
+
+  /// Parses "0.1.12" (or "" for the empty id). Rejects malformed input.
+  static Result<DeweyId> Parse(const std::string& text);
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+  uint32_t component(size_t i) const { return components_[i]; }
+  uint32_t back() const { return components_.back(); }
+
+  /// Three-way document-order comparison: negative if *this precedes
+  /// `other`, 0 if equal, positive otherwise. If `cmp_count` is non-null it
+  /// is incremented by the number of component comparisons performed, which
+  /// is how the paper charges O(d) per Dewey comparison.
+  int Compare(const DeweyId& other, uint64_t* cmp_count = nullptr) const;
+
+  /// True iff *this is an ancestor of `other` (proper prefix).
+  bool IsAncestorOf(const DeweyId& other) const;
+  /// True iff *this is `other` or an ancestor of it (paper's `<=a`).
+  bool IsAncestorOrSelf(const DeweyId& other) const;
+
+  /// Lowest common ancestor: the longest common prefix (paper Section 2).
+  DeweyId Lca(const DeweyId& other) const;
+
+  /// Number of leading components shared with `other`.
+  size_t CommonPrefixLength(const DeweyId& other) const;
+
+  /// Parent id; the empty id's parent is itself (empty).
+  DeweyId Parent() const;
+
+  /// Id of the `ordinal`-th child.
+  DeweyId Child(uint32_t ordinal) const;
+
+  /// The immediate next sibling (last component + 1); the paper's "uncle"
+  /// construction uses this to bound the right part of a subtree.
+  /// Precondition: non-empty.
+  DeweyId NextSibling() const;
+
+  /// Truncates to the first `n` components (n <= depth()).
+  DeweyId Prefix(size_t n) const;
+
+  /// "0.1.12"; empty id renders as "".
+  std::string ToString() const;
+
+  friend bool operator==(const DeweyId& a, const DeweyId& b) {
+    return a.components_ == b.components_;
+  }
+  friend bool operator!=(const DeweyId& a, const DeweyId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const DeweyId& a, const DeweyId& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator<=(const DeweyId& a, const DeweyId& b) {
+    return a.Compare(b) <= 0;
+  }
+  friend bool operator>(const DeweyId& a, const DeweyId& b) {
+    return a.Compare(b) > 0;
+  }
+  friend bool operator>=(const DeweyId& a, const DeweyId& b) {
+    return a.Compare(b) >= 0;
+  }
+
+  struct Hash {
+    size_t operator()(const DeweyId& id) const {
+      size_t h = 0x811c9dc5;
+      for (uint32_t c : id.components_) {
+        h ^= c;
+        h *= 0x01000193;
+        h ^= h >> 17;
+      }
+      return h;
+    }
+  };
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+/// Returns the deeper of two ids; by the paper's `d(u, v)` convention, if
+/// one argument is the empty ("null") id the other is returned, and if the
+/// two ids are on an ancestor-descendant line the descendant is returned.
+/// The arguments produced by SLCA chains always satisfy one of these cases;
+/// for incomparable ids of equal depth the first argument is returned.
+const DeweyId& Deeper(const DeweyId& a, const DeweyId& b);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_DEWEY_DEWEY_ID_H_

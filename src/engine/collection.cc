@@ -1,0 +1,70 @@
+#include "engine/collection.h"
+
+#include <algorithm>
+
+namespace xksearch {
+
+Status Collection::AddDocument(const std::string& name, Document doc,
+                               const XKSearch::BuildOptions& options) {
+  if (Find(name) != nullptr) {
+    return Status::InvalidArgument("document '" + name +
+                                   "' already in collection");
+  }
+  XKS_ASSIGN_OR_RETURN(std::unique_ptr<XKSearch> system,
+                       XKSearch::BuildFromDocument(std::move(doc), options));
+  entries_.push_back(Entry{name, std::move(system)});
+  return Status::OK();
+}
+
+Status Collection::AddXml(const std::string& name, std::string_view xml,
+                          const XKSearch::BuildOptions& options) {
+  XKS_ASSIGN_OR_RETURN(Document doc, ParseXml(xml));
+  return AddDocument(name, std::move(doc), options);
+}
+
+Status Collection::AddFile(const std::string& path,
+                           const XKSearch::BuildOptions& options) {
+  XKS_ASSIGN_OR_RETURN(Document doc, ParseXmlFile(path));
+  return AddDocument(path, std::move(doc), options);
+}
+
+Result<std::vector<Collection::DocumentHit>> Collection::Search(
+    const std::vector<std::string>& keywords,
+    const SearchOptions& options) const {
+  std::vector<DocumentHit> hits;
+  for (const Entry& entry : entries_) {
+    XKS_ASSIGN_OR_RETURN(SearchResult result,
+                         entry.system->Search(keywords, options));
+    if (result.nodes.empty()) continue;
+    hits.push_back(DocumentHit{entry.name, std::move(result)});
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const DocumentHit& a, const DocumentHit& b) {
+                     return a.result.nodes.size() > b.result.nodes.size();
+                   });
+  return hits;
+}
+
+const XKSearch* Collection::Find(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return entry.system.get();
+  }
+  return nullptr;
+}
+
+uint64_t Collection::Frequency(std::string_view keyword) const {
+  uint64_t total = 0;
+  for (const Entry& entry : entries_) {
+    total += entry.system->Frequency(keyword);
+  }
+  return total;
+}
+
+std::vector<std::string> Collection::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace xksearch

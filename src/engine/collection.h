@@ -1,0 +1,75 @@
+#ifndef XKSEARCH_ENGINE_COLLECTION_H_
+#define XKSEARCH_ENGINE_COLLECTION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/xksearch.h"
+
+namespace xksearch {
+
+/// \brief Keyword search over a collection of XML documents.
+///
+/// The paper's Section 7 contrasts XKSearch with systems that return a
+/// ranked list of *documents* containing the keywords; this facade gives
+/// both views: per-document SLCA answers, with documents ordered by how
+/// many answers they contain. Each document keeps its own index and
+/// Dewey space — answers never span documents, matching the intuition
+/// that unrelated documents share no meaningful common ancestor.
+class Collection {
+ public:
+  Collection() = default;
+
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+  Collection(Collection&&) = default;
+  Collection& operator=(Collection&&) = default;
+
+  /// Adds and indexes a document under `name` (must be unique).
+  Status AddDocument(const std::string& name, Document doc,
+                     const XKSearch::BuildOptions& options = {});
+
+  /// Parses and adds an XML string.
+  Status AddXml(const std::string& name, std::string_view xml,
+                const XKSearch::BuildOptions& options = {});
+
+  /// Parses and adds an XML file (name defaults to the path).
+  Status AddFile(const std::string& path,
+                 const XKSearch::BuildOptions& options = {});
+
+  /// One document's answers for a query.
+  struct DocumentHit {
+    std::string document;
+    SearchResult result;
+  };
+
+  /// Runs the query against every document. Documents with no answers
+  /// are omitted; the rest are ordered by descending answer count (ties
+  /// by insertion order), a simple document-relevance proxy.
+  Result<std::vector<DocumentHit>> Search(
+      const std::vector<std::string>& keywords,
+      const SearchOptions& options = {}) const;
+
+  /// The engine for one document, or nullptr.
+  const XKSearch* Find(std::string_view name) const;
+
+  /// Total keyword frequency across the collection.
+  uint64_t Frequency(std::string_view keyword) const;
+
+  size_t size() const { return entries_.size(); }
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<XKSearch> system;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_ENGINE_COLLECTION_H_

@@ -1,0 +1,60 @@
+#ifndef XKSEARCH_ENGINE_QUERY_EXECUTOR_H_
+#define XKSEARCH_ENGINE_QUERY_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "index/inverted_index.h"
+#include "index/tokenizer.h"
+#include "slca/keyword_list.h"
+#include "slca/slca.h"
+#include "storage/disk_index.h"
+
+namespace xksearch {
+
+/// \brief A keyword query normalized and bound to keyword lists, ready
+/// for one of the SLCA algorithms.
+///
+/// Shared between the in-memory and the disk execution paths of the
+/// engine: normalization, frequency lookup and the smallest-list-first
+/// ordering (Section 3's choice of S1) are identical in both.
+struct PreparedQuery {
+  /// Normalized keywords, ordered by increasing frequency.
+  std::vector<std::string> keywords;
+  /// Matching list adapters, same order. Missing keywords get an
+  /// EmptyKeywordList so the algorithms still see k lists.
+  std::vector<std::unique_ptr<KeywordList>> lists;
+  /// Frequency extremes, for algorithm auto-selection.
+  uint64_t min_frequency = 0;
+  uint64_t max_frequency = 0;
+  /// True iff some keyword does not occur at all (result will be empty).
+  bool missing = false;
+
+  std::vector<KeywordList*> list_pointers() const {
+    std::vector<KeywordList*> out;
+    out.reserve(lists.size());
+    for (const auto& list : lists) out.push_back(list.get());
+    return out;
+  }
+};
+
+/// Prepares a query against the in-memory inverted index. `stats` is
+/// captured by the list adapters and must outlive the execution.
+Result<PreparedQuery> PrepareQuery(const InvertedIndex& index,
+                                   const std::vector<std::string>& keywords,
+                                   const TokenizerOptions& tokenizer,
+                                   QueryStats* stats);
+
+/// Prepares a query against a disk index (its dictionary doubles as the
+/// frequency table).
+Result<PreparedQuery> PrepareQuery(const DiskIndex& index,
+                                   const std::vector<std::string>& keywords,
+                                   const TokenizerOptions& tokenizer,
+                                   QueryStats* stats);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_ENGINE_QUERY_EXECUTOR_H_

@@ -1,0 +1,54 @@
+#include "engine/snippet.h"
+
+#include "xml/parser.h"
+
+namespace xksearch {
+
+namespace {
+
+/// Serializes subtree(n) with a soft byte budget; emits an ellipsis
+/// element when truncating.
+void SnippetNode(const Document& doc, NodeId n, size_t max_bytes,
+                 std::string* out) {
+  if (max_bytes != 0 && out->size() >= max_bytes) return;
+  if (doc.IsText(n)) {
+    *out += EscapeXml(doc.text(n));
+    return;
+  }
+  *out += '<';
+  *out += doc.tag(n);
+  for (const auto& [name, value] : doc.attributes(n)) {
+    *out += ' ';
+    *out += name;
+    *out += "=\"";
+    *out += EscapeXml(value);
+    *out += '"';
+  }
+  if (doc.children(n).empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  for (NodeId c : doc.children(n)) {
+    if (max_bytes != 0 && out->size() >= max_bytes) {
+      *out += "<truncated/>";
+      break;
+    }
+    SnippetNode(doc, c, max_bytes, out);
+  }
+  *out += "</";
+  *out += doc.tag(n);
+  *out += '>';
+}
+
+}  // namespace
+
+Result<std::string> RenderSnippet(const Document& doc, const DeweyId& id,
+                                  size_t max_bytes) {
+  XKS_ASSIGN_OR_RETURN(NodeId node, doc.FindByDewey(id));
+  std::string out;
+  SnippetNode(doc, node, max_bytes, &out);
+  return out;
+}
+
+}  // namespace xksearch

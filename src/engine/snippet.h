@@ -1,0 +1,21 @@
+#ifndef XKSEARCH_ENGINE_SNIPPET_H_
+#define XKSEARCH_ENGINE_SNIPPET_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dewey/dewey_id.h"
+#include "xml/document.h"
+
+namespace xksearch {
+
+/// \brief Serializes the answer subtree rooted at `id`, truncated to at
+/// most `max_bytes` of XML (0 = unlimited; an `<truncated/>` marker is
+/// emitted where content was cut). NotFound if the document has no node
+/// with that Dewey number. Shared by XKSearch and DiskSearcher.
+Result<std::string> RenderSnippet(const Document& doc, const DeweyId& id,
+                                  size_t max_bytes = 0);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_ENGINE_SNIPPET_H_

@@ -1,0 +1,54 @@
+#ifndef XKSEARCH_GEN_DBLP_GENERATOR_H_
+#define XKSEARCH_GEN_DBLP_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace xksearch {
+
+/// \brief A keyword to plant with an exact frequency.
+///
+/// The paper's experiments are parameterized purely by keyword-list
+/// frequencies (10 ... 100,000); planting lets a synthetic corpus hit
+/// those frequencies exactly. Each planted occurrence is appended to one
+/// randomly chosen paper's title text, so the keyword list of `name` has
+/// exactly `frequency` nodes (a node mentioning the keyword twice would
+/// still index once, but papers are sampled without replacement).
+struct PlantSpec {
+  std::string name;
+  uint64_t frequency;
+};
+
+/// \brief Parameters of the DBLP-shaped corpus.
+///
+/// Shape matches the paper's preprocessed DBLP data: papers grouped first
+/// by journal/conference, then by year (Section 6). Depth is root ->
+/// venue -> year -> paper -> field -> text = 6 levels, a shallow tree
+/// like real DBLP.
+struct DblpOptions {
+  /// Total paper entries; must be >= every planted frequency.
+  size_t papers = 10000;
+  size_t venues = 20;
+  /// Years per venue; papers are spread uniformly over venue/year groups.
+  size_t years_per_venue = 10;
+  /// Background vocabulary size for titles and author names.
+  size_t vocab_size = 2000;
+  /// Zipf exponent for background word frequencies; 0 = uniform. Real
+  /// text is Zipfian (s around 1), which gives the corpus a natural
+  /// long-tailed frequency table for the query sampler to draw from.
+  double zipf_exponent = 0.0;
+  uint64_t seed = 42;
+  std::vector<PlantSpec> plants;
+};
+
+/// \brief Generates the corpus. Fails if a planted frequency exceeds the
+/// paper count or a planted name collides with the background vocabulary.
+Result<Document> GenerateDblp(const DblpOptions& options);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_GEN_DBLP_GENERATOR_H_

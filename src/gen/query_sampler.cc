@@ -1,0 +1,66 @@
+#include "gen/query_sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xksearch {
+
+QuerySampler::QuerySampler(const InvertedIndex& index) {
+  for (const std::string& term : index.Terms()) {
+    terms_.push_back(TermFreq{term, index.Frequency(term)});
+  }
+  std::sort(terms_.begin(), terms_.end(),
+            [](const TermFreq& a, const TermFreq& b) {
+              return a.frequency < b.frequency;
+            });
+}
+
+std::string QuerySampler::SampleKeyword(Rng* rng, uint64_t target_frequency,
+                                        double tolerance) const {
+  const uint64_t lo = static_cast<uint64_t>(
+      static_cast<double>(target_frequency) * (1.0 - tolerance));
+  const uint64_t hi = static_cast<uint64_t>(
+      static_cast<double>(target_frequency) * (1.0 + tolerance));
+  auto first = std::lower_bound(
+      terms_.begin(), terms_.end(), lo,
+      [](const TermFreq& t, uint64_t v) { return t.frequency < v; });
+  auto last = std::upper_bound(
+      terms_.begin(), terms_.end(), hi,
+      [](uint64_t v, const TermFreq& t) { return v < t.frequency; });
+  if (first == last) return "";
+  const size_t span = static_cast<size_t>(last - first);
+  return (first + rng->Uniform(span))->term;
+}
+
+std::vector<std::string> QuerySampler::SampleQuery(
+    Rng* rng, const std::vector<uint64_t>& target_frequencies,
+    double tolerance) const {
+  std::vector<std::string> query;
+  std::unordered_set<std::string> used;
+  for (uint64_t freq : target_frequencies) {
+    std::string kw;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      kw = SampleKeyword(rng, freq, tolerance);
+      if (kw.empty() || !used.count(kw)) break;
+    }
+    if (kw.empty()) return {};
+    used.insert(kw);
+    query.push_back(std::move(kw));
+  }
+  return query;
+}
+
+std::vector<std::vector<std::string>> QuerySampler::SampleQueries(
+    Rng* rng, size_t count, const std::vector<uint64_t>& target_frequencies,
+    double tolerance) const {
+  std::vector<std::vector<std::string>> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<std::string> q =
+        SampleQuery(rng, target_frequencies, tolerance);
+    if (!q.empty()) queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace xksearch

@@ -1,0 +1,48 @@
+#ifndef XKSEARCH_GEN_QUERY_SAMPLER_H_
+#define XKSEARCH_GEN_QUERY_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/inverted_index.h"
+
+namespace xksearch {
+
+/// \brief Draws random keyword queries from an index by frequency, the way
+/// the paper's experiment driver "randomly chose forty queries for each
+/// experiment" with prescribed keyword-list sizes.
+class QuerySampler {
+ public:
+  /// Buckets every indexed term by frequency once.
+  explicit QuerySampler(const InvertedIndex& index);
+
+  /// Random keyword whose list size lies within `tolerance` (relative) of
+  /// `target_frequency`; empty string if the index has none.
+  std::string SampleKeyword(Rng* rng, uint64_t target_frequency,
+                            double tolerance = 0.5) const;
+
+  /// One query with the given per-keyword target frequencies. Keywords in
+  /// a query are distinct when possible.
+  std::vector<std::string> SampleQuery(
+      Rng* rng, const std::vector<uint64_t>& target_frequencies,
+      double tolerance = 0.5) const;
+
+  /// `count` queries per SampleQuery.
+  std::vector<std::vector<std::string>> SampleQueries(
+      Rng* rng, size_t count, const std::vector<uint64_t>& target_frequencies,
+      double tolerance = 0.5) const;
+
+ private:
+  struct TermFreq {
+    std::string term;
+    uint64_t frequency;
+  };
+  // Sorted by frequency for range lookups.
+  std::vector<TermFreq> terms_;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_GEN_QUERY_SAMPLER_H_

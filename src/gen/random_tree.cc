@@ -1,0 +1,63 @@
+#include "gen/random_tree.h"
+
+namespace xksearch {
+
+namespace {
+
+const char* const kTags[] = {"a", "b", "c", "item", "group", "entry"};
+constexpr size_t kTagCount = sizeof(kTags) / sizeof(kTags[0]);
+
+}  // namespace
+
+std::vector<std::string> RandomTreeVocabulary(
+    const RandomTreeOptions& options) {
+  std::vector<std::string> vocab;
+  vocab.reserve(options.vocab_size);
+  for (size_t i = 0; i < options.vocab_size; ++i) {
+    vocab.push_back("w" + std::to_string(i));
+  }
+  return vocab;
+}
+
+Document GenerateRandomDocument(Rng* rng, const RandomTreeOptions& options) {
+  const std::vector<std::string> vocab = RandomTreeVocabulary(options);
+  Document doc;
+  const NodeId root = doc.CreateRoot("root");
+  // Frontier of elements that may still receive children, with depths.
+  std::vector<std::pair<NodeId, uint32_t>> frontier = {{root, 0}};
+  size_t created = 1;
+
+  auto maybe_add_text = [&](NodeId element) {
+    if (options.vocab_size == 0 || !rng->Bernoulli(options.text_probability)) {
+      return;
+    }
+    std::string text;
+    const size_t words = 1 + rng->Uniform(3);
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) text += ' ';
+      text += vocab[rng->Uniform(vocab.size())];
+    }
+    doc.AppendText(element, text);
+  };
+
+  maybe_add_text(root);
+  while (created < options.node_count && !frontier.empty()) {
+    const size_t pick = rng->Uniform(frontier.size());
+    const auto [parent, depth] = frontier[pick];
+    const NodeId child =
+        doc.AppendElement(parent, kTags[rng->Uniform(kTagCount)]);
+    ++created;
+    maybe_add_text(child);
+    if (depth + 1 < options.max_depth) {
+      frontier.emplace_back(child, depth + 1);
+    }
+    // Retire parents that hit their fanout cap.
+    if (doc.child_count(parent) >= options.max_children) {
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+    }
+  }
+  return doc;
+}
+
+}  // namespace xksearch

@@ -1,0 +1,36 @@
+#ifndef XKSEARCH_GEN_RANDOM_TREE_H_
+#define XKSEARCH_GEN_RANDOM_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "xml/document.h"
+
+namespace xksearch {
+
+/// \brief Shape parameters for random labeled trees (property tests).
+struct RandomTreeOptions {
+  /// Total element nodes to generate (>= 1).
+  size_t node_count = 50;
+  /// Hard depth cap.
+  uint32_t max_depth = 8;
+  /// Maximum children per element.
+  uint32_t max_children = 5;
+  /// Number of distinct keywords sprinkled over the tree.
+  size_t vocab_size = 6;
+  /// Probability that an element gets a text child with 1-3 keywords.
+  double text_probability = 0.7;
+};
+
+/// \brief Generates a random XML document whose text nodes draw keywords
+/// "w0" .. "w<vocab_size-1>" at random. Deterministic given the Rng state.
+Document GenerateRandomDocument(Rng* rng, const RandomTreeOptions& options);
+
+/// The vocabulary used by GenerateRandomDocument.
+std::vector<std::string> RandomTreeVocabulary(const RandomTreeOptions& options);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_GEN_RANDOM_TREE_H_

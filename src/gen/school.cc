@@ -1,0 +1,58 @@
+#include "gen/school.h"
+
+#include "xml/parser.h"
+
+namespace xksearch {
+
+Document BuildSchoolDocument() {
+  Document doc;
+  const NodeId school = doc.CreateRoot("school");
+
+  // Classes.
+  const NodeId classes = doc.AppendElement(school, "classes");
+
+  const NodeId cs2a = doc.AppendElement(classes, "class");
+  doc.AppendText(doc.AppendElement(cs2a, "name"), "CS2A");
+  doc.AppendText(doc.AppendElement(cs2a, "instructor"), "John");
+  doc.AppendText(doc.AppendElement(cs2a, "ta"), "Ben");
+
+  const NodeId cs3a = doc.AppendElement(classes, "class");
+  doc.AppendText(doc.AppendElement(cs3a, "name"), "CS3A");
+  doc.AppendText(doc.AppendElement(cs3a, "lecturer"), "John");
+  const NodeId students = doc.AppendElement(cs3a, "students");
+  doc.AppendText(doc.AppendElement(students, "student"), "Ben");
+  doc.AppendText(doc.AppendElement(students, "student"), "Mary");
+
+  const NodeId cs4 = doc.AppendElement(classes, "class");
+  doc.AppendText(doc.AppendElement(cs4, "name"), "CS4");
+  doc.AppendText(doc.AppendElement(cs4, "instructor"), "Sam");
+  doc.AppendText(doc.AppendElement(cs4, "ta"), "Frank");
+
+  // Sports: both John and Ben play on the baseball team.
+  const NodeId sports = doc.AppendElement(school, "sports");
+  const NodeId baseball = doc.AppendElement(sports, "team");
+  doc.AppendText(doc.AppendElement(baseball, "name"), "baseball");
+  const NodeId players = doc.AppendElement(baseball, "players");
+  doc.AppendText(doc.AppendElement(players, "player"), "John");
+  doc.AppendText(doc.AppendElement(players, "player"), "Ben");
+  const NodeId soccer = doc.AppendElement(sports, "team");
+  doc.AppendText(doc.AppendElement(soccer, "name"), "soccer");
+  doc.AppendText(doc.AppendElement(doc.AppendElement(soccer, "players"),
+                                   "player"),
+                 "Mary");
+
+  // Projects mentioning only one of the two, as distractors.
+  const NodeId projects = doc.AppendElement(school, "projects");
+  const NodeId p1 = doc.AppendElement(projects, "project");
+  doc.AppendText(doc.AppendElement(p1, "title"), "Robotics");
+  doc.AppendText(doc.AppendElement(p1, "lead"), "John");
+  const NodeId p2 = doc.AppendElement(projects, "project");
+  doc.AppendText(doc.AppendElement(p2, "title"), "Gardening");
+  doc.AppendText(doc.AppendElement(p2, "lead"), "Frank");
+
+  return doc;
+}
+
+std::string SchoolXml() { return SerializeXml(BuildSchoolDocument(), true); }
+
+}  // namespace xksearch

@@ -1,0 +1,22 @@
+#ifndef XKSEARCH_GEN_SCHOOL_H_
+#define XKSEARCH_GEN_SCHOOL_H_
+
+#include "xml/document.h"
+
+namespace xksearch {
+
+/// \brief Builds the paper's running example, School.xml (Figure 1).
+///
+/// The document models a school with classes and sports teams in which
+/// "John" and "Ben" are related three ways — Ben is the TA of John's CS2A
+/// class, Ben is a student in the CS3A class John teaches, and both play
+/// on the same team — so the query {john, ben} has exactly three SLCAs,
+/// matching the paper's walk-through.
+Document BuildSchoolDocument();
+
+/// The same document as XML text (for parser round-trip demos).
+std::string SchoolXml();
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_GEN_SCHOOL_H_

@@ -1,0 +1,45 @@
+#ifndef XKSEARCH_GEN_XMARK_GENERATOR_H_
+#define XKSEARCH_GEN_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gen/dblp_generator.h"  // PlantSpec
+#include "xml/document.h"
+
+namespace xksearch {
+
+/// \brief Parameters for an XMark-shaped auction-site corpus.
+///
+/// XMark is the standard XML benchmark schema: site -> regions /
+/// people / open_auctions / closed_auctions, with auction descriptions
+/// containing recursively nested parlist/listitem markup. Compared to
+/// the DBLP shape (depth 6), the description recursion makes this tree
+/// deep (depth 8 + 2 * description_depth), exercising the parts of the
+/// system whose cost carries a factor d: Dewey comparisons, the level
+/// table, and Section 5's ancestor checks.
+struct XmarkOptions {
+  /// Number of auction items (split between open and closed).
+  size_t items = 5000;
+  size_t people = 1000;
+  size_t regions = 6;
+  /// Nesting depth of description parlists (0 = flat text).
+  uint32_t description_depth = 3;
+  /// Background vocabulary size (words are "x<N>").
+  size_t vocab_size = 1000;
+  uint64_t seed = 7;
+  /// Keywords planted with exact frequencies into item descriptions.
+  /// Reserved background prefix here is 'x'.
+  std::vector<PlantSpec> plants;
+};
+
+/// \brief Generates the corpus. Planted keywords are attached to
+/// distinct items sampled without replacement, one occurrence each, at
+/// a random nesting level of the item's description.
+Result<Document> GenerateXmark(const XmarkOptions& options);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_GEN_XMARK_GENERATOR_H_

@@ -1,0 +1,97 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xksearch {
+
+InvertedIndex InvertedIndex::Build(const Document& doc,
+                                   const IndexOptions& options) {
+  InvertedIndex index;
+  index.options_ = options;
+  if (doc.empty()) return index;
+
+  // Iterative preorder walk so document depth cannot overflow the stack.
+  // Children are pushed in reverse so they pop in document order, which
+  // keeps every keyword list sorted without a final sort pass.
+  std::vector<NodeId> stack = {doc.root()};
+  std::vector<std::string> node_terms;  // scratch, deduplicated per node
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    const DeweyId id = doc.DeweyOf(n);
+    index.level_table_.Observe(id);
+
+    node_terms.clear();
+    auto collect = [&](std::string_view tok) {
+      node_terms.emplace_back(tok);
+    };
+    if (doc.IsText(n)) {
+      TokenizeTo(doc.text(n), options.tokenizer, collect);
+    } else {
+      if (options.index_tags) {
+        TokenizeTo(doc.tag(n), options.tokenizer, collect);
+      }
+      if (options.index_attributes || options.index_attribute_names) {
+        for (const auto& [name, value] : doc.attributes(n)) {
+          if (options.index_attribute_names) {
+            TokenizeTo(name, options.tokenizer, collect);
+          }
+          if (options.index_attributes) {
+            TokenizeTo(value, options.tokenizer, collect);
+          }
+        }
+      }
+      const auto& kids = doc.children(n);
+      for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+    }
+
+    // A node that mentions a keyword twice still appears once in its list.
+    std::sort(node_terms.begin(), node_terms.end());
+    node_terms.erase(std::unique(node_terms.begin(), node_terms.end()),
+                     node_terms.end());
+    for (const std::string& term : node_terms) {
+      index.AddPosting(term, id);
+    }
+  }
+  return index;
+}
+
+const std::vector<DeweyId>* InvertedIndex::Find(std::string_view keyword) const {
+  auto it = term_ids_.find(keyword);
+  if (it == term_ids_.end()) return nullptr;
+  return &lists_[it->second];
+}
+
+size_t InvertedIndex::Frequency(std::string_view keyword) const {
+  const std::vector<DeweyId>* list = Find(keyword);
+  return list == nullptr ? 0 : list->size();
+}
+
+void InvertedIndex::AddPosting(std::string_view keyword, const DeweyId& id) {
+  level_table_.Observe(id);
+  auto it = term_ids_.find(keyword);
+  uint32_t term;
+  if (it == term_ids_.end()) {
+    term = static_cast<uint32_t>(lists_.size());
+    term_ids_.emplace(std::string(keyword), term);
+    lists_.emplace_back();
+  } else {
+    term = it->second;
+  }
+  std::vector<DeweyId>& list = lists_[term];
+  assert(list.empty() || list.back().Compare(id) <= 0);
+  if (!list.empty() && list.back() == id) return;  // dedupe
+  list.push_back(id);
+  ++total_postings_;
+}
+
+std::vector<std::string> InvertedIndex::Terms() const {
+  std::vector<std::string> out;
+  out.reserve(term_ids_.size());
+  for (const auto& [term, id] : term_ids_) out.push_back(term);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xksearch

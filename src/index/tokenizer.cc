@@ -1,0 +1,56 @@
+#include "index/tokenizer.h"
+
+#include <cctype>
+
+namespace xksearch {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+char Fold(char c, bool lowercase) {
+  return lowercase ? static_cast<char>(
+                         std::tolower(static_cast<unsigned char>(c)))
+                   : c;
+}
+
+}  // namespace
+
+void TokenizeTo(std::string_view text, const TokenizerOptions& options,
+                const std::function<void(std::string_view)>& emit) {
+  std::string token;
+  auto flush = [&]() {
+    if (token.size() >= options.min_length) emit(token);
+    token.clear();
+  };
+  for (char c : text) {
+    if (IsTokenChar(c)) {
+      token += Fold(c, options.lowercase);
+    } else if (!token.empty()) {
+      flush();
+    }
+  }
+  if (!token.empty()) flush();
+}
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> out;
+  TokenizeTo(text, options,
+             [&](std::string_view tok) { out.emplace_back(tok); });
+  return out;
+}
+
+std::string NormalizeKeyword(std::string_view word,
+                             const TokenizerOptions& options) {
+  std::string out;
+  for (char c : word) {
+    if (IsTokenChar(c)) out += Fold(c, options.lowercase);
+  }
+  if (out.size() < options.min_length) out.clear();
+  return out;
+}
+
+}  // namespace xksearch

@@ -1,0 +1,40 @@
+#ifndef XKSEARCH_INDEX_TOKENIZER_H_
+#define XKSEARCH_INDEX_TOKENIZER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xksearch {
+
+/// \brief Options controlling keyword extraction.
+struct TokenizerOptions {
+  /// Fold tokens to lowercase (keyword search is case-insensitive).
+  bool lowercase = true;
+  /// Tokens shorter than this are dropped (0 keeps everything).
+  size_t min_length = 1;
+};
+
+/// \brief Splits `text` into keyword tokens.
+///
+/// A token is a maximal run of alphanumeric characters; everything else is
+/// a separator. This matches what a keyword-search system indexes from
+/// element content ("Yu Xu" -> {"yu", "xu"}).
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options = {});
+
+/// \brief Streaming variant: invokes `emit` for each token without
+/// materializing a vector. Used by the index builder on large documents.
+void TokenizeTo(std::string_view text, const TokenizerOptions& options,
+                const std::function<void(std::string_view)>& emit);
+
+/// \brief Normalizes a single query keyword the same way the indexer
+/// normalizes document tokens (lowercase if enabled). Returns the empty
+/// string when `word` contains no alphanumeric characters.
+std::string NormalizeKeyword(std::string_view word,
+                             const TokenizerOptions& options = {});
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_INDEX_TOKENIZER_H_

@@ -1,0 +1,101 @@
+#include "slca/all_lca.h"
+
+#include <algorithm>
+
+namespace xksearch {
+
+Result<bool> CheckLca(const DeweyId& w, const DeweyId& u,
+                      const std::vector<KeywordList*>& lists,
+                      QueryStats* stats) {
+  const DeweyId uncle = u.NextSibling();
+  for (KeywordList* list : lists) {
+    if (stats != nullptr) stats->match_ops += 2;
+    DeweyId y;
+    // A witness at w itself or in the left part of subtree(w): the
+    // smallest instance >= w that is under w but not under u. (If the
+    // left part is empty this probe lands inside subtree(u), which
+    // proves nothing — subtree(u) is known to contain every keyword.)
+    XKS_ASSIGN_OR_RETURN(bool found, list->RightMatch(w, &y));
+    if (found && w.IsAncestorOrSelf(y) && !u.IsAncestorOrSelf(y)) return true;
+    // A witness in the right part: the smallest instance at or after the
+    // uncle of u; if it is still under w it lies right of subtree(u).
+    XKS_ASSIGN_OR_RETURN(found, list->RightMatch(uncle, &y));
+    if (found && w.IsAncestorOrSelf(y)) return true;
+  }
+  return false;
+}
+
+Status FindAllLca(const std::vector<KeywordList*>& lists,
+                  const SlcaOptions& options, QueryStats* stats,
+                  const ResultCallback& emit) {
+  if (lists.size() == 1) {
+    // Degenerate case: the LCA of a singleton combination is the node
+    // itself, so the LCA set is the whole keyword list. (CheckLca's
+    // witness argument needs a second keyword to pin an ancestor.)
+    XKS_ASSIGN_OR_RETURN(std::unique_ptr<KeywordListIterator> it,
+                         lists[0]->NewIterator());
+    DeweyId id;
+    while (it->Next(&id)) {
+      if (stats != nullptr) ++stats->results;
+      emit(id);
+    }
+    return it->status();
+  }
+
+  DeweyId prev;
+  bool have_prev = false;
+  Status check_status;
+
+  // Walks the ancestors of `s` from its parent up to (and excluding)
+  // depth `stop_depth`, checking each for LCA-ness. The child on the path
+  // certifies that every keyword occurs below the ancestor.
+  auto check_path = [&](const DeweyId& s, size_t stop_depth) {
+    for (size_t wd = s.depth() - 1; wd > stop_depth; --wd) {
+      const DeweyId w = s.Prefix(wd);
+      const DeweyId u = s.Prefix(wd + 1);
+      Result<bool> is_lca = CheckLca(w, u, lists, stats);
+      if (!is_lca.ok()) {
+        check_status = is_lca.status();
+        return;
+      }
+      if (*is_lca) {
+        if (stats != nullptr) ++stats->results;
+        emit(w);
+      }
+    }
+  };
+
+  XKS_RETURN_NOT_OK(IndexedLookupEagerSlca(
+      lists, options, stats, [&](const DeweyId& s) {
+        if (!check_status.ok()) return;
+        // Every SLCA is itself an LCA. (The SLCA machinery already
+        // counted it in stats->results.)
+        emit(s);
+        if (have_prev) {
+          // Ancestors of `prev` above lca(prev, s) are shared with `s`
+          // and will be handled when s (or a later SLCA) is finished.
+          check_path(prev, prev.CommonPrefixLength(s));
+        }
+        prev = s;
+        have_prev = true;
+      }));
+  XKS_RETURN_NOT_OK(check_status);
+  if (have_prev) {
+    // The last SLCA owns the remaining path all the way to the root.
+    check_path(prev, 0);
+    XKS_RETURN_NOT_OK(check_status);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DeweyId>> ComputeAllLcaList(
+    const std::vector<KeywordList*>& lists, const SlcaOptions& options,
+    QueryStats* stats) {
+  std::vector<DeweyId> out;
+  XKS_RETURN_NOT_OK(FindAllLca(lists, options, stats,
+                               [&](const DeweyId& id) { out.push_back(id); }));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xksearch

@@ -1,0 +1,47 @@
+#ifndef XKSEARCH_SLCA_ALL_LCA_H_
+#define XKSEARCH_SLCA_ALL_LCA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "dewey/dewey_id.h"
+#include "slca/keyword_list.h"
+#include "slca/slca.h"
+
+namespace xksearch {
+
+/// \brief The All-LCA problem (paper Section 5, Algorithm 3).
+///
+/// Every LCA of the keyword lists is an ancestor-or-self of some SLCA, so
+/// the algorithm pipelines on the Indexed Lookup Eager SLCA stream: each
+/// SLCA is an LCA and is emitted immediately; each ancestor of an SLCA is
+/// checked *exactly once* with at most 2k right-match probes — one probe
+/// at the ancestor itself catches a witness to the left of (or at) the
+/// ancestor, one probe at the "uncle" (the next sibling of the child on
+/// the path) catches a witness to the right of the child's subtree.
+/// Consecutive SLCAs share ancestors above their LCA; the walk for each
+/// SLCA therefore stops at the LCA with its successor, which makes the
+/// total cost O(|slca| * d) checks — efficient on shallow trees.
+///
+/// Results are emitted as discovered (descendants may precede ancestors);
+/// use ComputeAllLcaList for a document-ordered vector.
+Status FindAllLca(const std::vector<KeywordList*>& lists,
+                  const SlcaOptions& options, QueryStats* stats,
+                  const ResultCallback& emit);
+
+/// \brief Decides whether `w` is an LCA of the lists, given a child `u`
+/// of `w` whose subtree is known to contain every keyword. This is the
+/// paper's checkLCA subroutine.
+Result<bool> CheckLca(const DeweyId& w, const DeweyId& u,
+                      const std::vector<KeywordList*>& lists,
+                      QueryStats* stats);
+
+/// Convenience wrapper: collects and sorts into document order.
+Result<std::vector<DeweyId>> ComputeAllLcaList(
+    const std::vector<KeywordList*>& lists, const SlcaOptions& options = {},
+    QueryStats* stats = nullptr);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SLCA_ALL_LCA_H_

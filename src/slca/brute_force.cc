@@ -1,0 +1,184 @@
+#include "slca/brute_force.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xksearch {
+
+namespace {
+
+void SortUnique(std::vector<DeweyId>* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+/// Calls `visit` with the LCA of every combination across `lists`.
+void ForEachCombinationLca(const std::vector<std::vector<DeweyId>>& lists,
+                           size_t depth, const DeweyId& acc,
+                           const std::function<void(const DeweyId&)>& visit) {
+  if (depth == lists.size()) {
+    visit(acc);
+    return;
+  }
+  for (const DeweyId& id : lists[depth]) {
+    ForEachCombinationLca(lists, depth + 1,
+                          depth == 0 ? id : acc.Lca(id), visit);
+  }
+}
+
+bool AnyEmpty(const std::vector<std::vector<DeweyId>>& lists) {
+  if (lists.empty()) return true;
+  for (const auto& list : lists) {
+    if (list.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<DeweyId> RemoveAncestors(std::vector<DeweyId> ids) {
+  SortUnique(&ids);
+  // In document order, all descendants of a node follow it contiguously,
+  // so a node has a descendant in the set iff its immediate successor is
+  // one.
+  std::vector<DeweyId> out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i + 1 < ids.size() && ids[i].IsAncestorOf(ids[i + 1])) continue;
+    out.push_back(ids[i]);
+  }
+  return out;
+}
+
+std::vector<DeweyId> BruteForceSlca(
+    const std::vector<std::vector<DeweyId>>& lists) {
+  return RemoveAncestors(BruteForceAllLca(lists));
+}
+
+std::vector<DeweyId> BruteForceAllLca(
+    const std::vector<std::vector<DeweyId>>& lists) {
+  std::vector<DeweyId> all;
+  if (AnyEmpty(lists)) return all;
+  ForEachCombinationLca(lists, 0, DeweyId(),
+                        [&](const DeweyId& id) { all.push_back(id); });
+  SortUnique(&all);
+  return all;
+}
+
+TreeOracle::TreeOracle(const Document& doc,
+                       const std::vector<std::vector<DeweyId>>& lists) {
+  const size_t k = lists.size();
+  if (AnyEmpty(lists) || doc.empty() || k > 64) return;
+  const uint64_t full_mask = k == 64 ? ~uint64_t{0} : (uint64_t{1} << k) - 1;
+
+  // Direct-containment mask per node.
+  std::unordered_map<DeweyId, uint64_t, DeweyId::Hash> direct;
+  for (size_t i = 0; i < k; ++i) {
+    for (const DeweyId& id : lists[i]) direct[id] |= uint64_t{1} << i;
+  }
+
+  // Per-keyword occurrence counts of each node itself.
+  std::unordered_map<DeweyId, std::vector<uint32_t>, DeweyId::Hash>
+      direct_counts;
+  for (size_t i = 0; i < k; ++i) {
+    for (const DeweyId& id : lists[i]) {
+      auto [it, inserted] =
+          direct_counts.try_emplace(id, std::vector<uint32_t>(k, 0));
+      ++it->second[i];
+    }
+  }
+
+  // Postorder subtree masks and "free" occurrence counts (occurrences
+  // not absorbed by a covering descendant — XRANK's ELCA exclusion).
+  // Nodes are created parent-before-child in the arena, so a reverse
+  // index sweep visits children before parents.
+  std::vector<uint64_t> subtree(doc.node_count(), 0);
+  std::vector<std::vector<uint32_t>> free_counts(
+      doc.node_count(), std::vector<uint32_t>(k, 0));
+  for (size_t n = doc.node_count(); n-- > 0;) {
+    const NodeId node = static_cast<NodeId>(n);
+    const DeweyId id = doc.DeweyOf(node);
+    auto it = direct.find(id);
+    if (it != direct.end()) subtree[n] |= it->second;
+    auto counts = direct_counts.find(id);
+    if (counts != direct_counts.end()) free_counts[n] = counts->second;
+    for (NodeId c : doc.children(node)) {
+      subtree[n] |= subtree[c];
+      if (subtree[c] != full_mask) {
+        for (size_t i = 0; i < k; ++i) free_counts[n][i] += free_counts[c][i];
+      }
+    }
+  }
+
+  for (size_t n = 0; n < doc.node_count(); ++n) {
+    if (subtree[n] != full_mask) continue;
+    const NodeId node = static_cast<NodeId>(n);
+    const DeweyId id = doc.DeweyOf(node);
+
+    bool child_covers = false;
+    size_t children_with_keywords = 0;
+    for (NodeId c : doc.children(node)) {
+      if (subtree[c] == full_mask) child_covers = true;
+      if (subtree[c] != 0) ++children_with_keywords;
+    }
+    if (!child_covers) slca_.push_back(id);
+
+    auto it = direct.find(id);
+    const bool holds_keyword = it != direct.end() && it->second != 0;
+    // For a single keyword the LCA of a singleton combination is the node
+    // itself, so only instance nodes qualify; with k >= 2, witnesses
+    // spread over two children also pin the LCA to this node.
+    if (holds_keyword || (k >= 2 && children_with_keywords >= 2)) {
+      lca_.push_back(id);
+    }
+
+    const bool all_free = std::all_of(free_counts[n].begin(),
+                                      free_counts[n].end(),
+                                      [](uint32_t c) { return c > 0; });
+    if (all_free) elca_.push_back(id);
+  }
+  // Preorder arena order coincides with document order.
+  std::sort(slca_.begin(), slca_.end());
+  std::sort(lca_.begin(), lca_.end());
+  std::sort(elca_.begin(), elca_.end());
+}
+
+namespace {
+
+Result<std::vector<std::vector<DeweyId>>> LookupLists(
+    const InvertedIndex& index, const std::vector<std::string>& keywords) {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("query needs at least one keyword");
+  }
+  std::vector<std::vector<DeweyId>> lists;
+  lists.reserve(keywords.size());
+  for (const std::string& kw : keywords) {
+    const std::vector<DeweyId>* list = index.Find(kw);
+    lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+  }
+  return lists;
+}
+
+}  // namespace
+
+Result<std::vector<DeweyId>> OracleSlca(
+    const Document& doc, const InvertedIndex& index,
+    const std::vector<std::string>& keywords) {
+  XKS_ASSIGN_OR_RETURN(auto lists, LookupLists(index, keywords));
+  return TreeOracle(doc, lists).Slca();
+}
+
+Result<std::vector<DeweyId>> OracleAllLca(
+    const Document& doc, const InvertedIndex& index,
+    const std::vector<std::string>& keywords) {
+  XKS_ASSIGN_OR_RETURN(auto lists, LookupLists(index, keywords));
+  return TreeOracle(doc, lists).AllLca();
+}
+
+Result<std::vector<DeweyId>> OracleElca(
+    const Document& doc, const InvertedIndex& index,
+    const std::vector<std::string>& keywords) {
+  XKS_ASSIGN_OR_RETURN(auto lists, LookupLists(index, keywords));
+  return TreeOracle(doc, lists).Elca();
+}
+
+}  // namespace xksearch

@@ -1,0 +1,69 @@
+#ifndef XKSEARCH_SLCA_BRUTE_FORCE_H_
+#define XKSEARCH_SLCA_BRUTE_FORCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dewey/dewey_id.h"
+#include "index/inverted_index.h"
+#include "xml/document.h"
+
+namespace xksearch {
+
+/// \brief Removes every node that is a (proper) ancestor of another node
+/// in the set; input ids need not be sorted, output is sorted, unique.
+/// This is the paper's removeAncestor operator.
+std::vector<DeweyId> RemoveAncestors(std::vector<DeweyId> ids);
+
+/// \brief The O(d * prod |Si|) brute force of Section 3: enumerates every
+/// combination, takes its LCA, then removes ancestors. Tiny inputs only —
+/// used as a correctness oracle and as the baseline the paper argues
+/// against (it is also blocking: nothing can be reported early).
+std::vector<DeweyId> BruteForceSlca(
+    const std::vector<std::vector<DeweyId>>& lists);
+
+/// \brief All LCAs over every combination (the Section 5 problem), by the
+/// same exhaustive enumeration.
+std::vector<DeweyId> BruteForceAllLca(
+    const std::vector<std::vector<DeweyId>>& lists);
+
+/// \brief Linear-time ground truth computed on the document tree.
+///
+/// Marks each node with the keywords its subtree covers; a node is an
+/// SLCA iff its subtree covers all keywords and no child subtree does,
+/// and an LCA iff its subtree covers all keywords and the witnesses are
+/// not confined to a single child (or the node holds a keyword itself).
+/// Independent of the paper's algorithms, so it is a meaningful oracle.
+class TreeOracle {
+ public:
+  /// `lists[i]` is the keyword list of keyword i over `doc`.
+  TreeOracle(const Document& doc, const std::vector<std::vector<DeweyId>>& lists);
+
+  std::vector<DeweyId> Slca() const { return slca_; }
+  std::vector<DeweyId> AllLca() const { return lca_; }
+  /// Exhaustive LCAs (XRANK semantics): covering nodes that keep at
+  /// least one occurrence of every keyword outside covering descendants.
+  std::vector<DeweyId> Elca() const { return elca_; }
+
+ private:
+  std::vector<DeweyId> slca_;
+  std::vector<DeweyId> lca_;
+  std::vector<DeweyId> elca_;
+};
+
+/// Convenience: looks up the query keywords in `index` and runs the
+/// oracle. Unknown keywords yield empty results.
+Result<std::vector<DeweyId>> OracleSlca(const Document& doc,
+                                        const InvertedIndex& index,
+                                        const std::vector<std::string>& keywords);
+Result<std::vector<DeweyId>> OracleAllLca(
+    const Document& doc, const InvertedIndex& index,
+    const std::vector<std::string>& keywords);
+Result<std::vector<DeweyId>> OracleElca(
+    const Document& doc, const InvertedIndex& index,
+    const std::vector<std::string>& keywords);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SLCA_BRUTE_FORCE_H_

@@ -1,0 +1,47 @@
+#ifndef XKSEARCH_SLCA_ELCA_H_
+#define XKSEARCH_SLCA_ELCA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "dewey/dewey_id.h"
+#include "slca/keyword_list.h"
+#include "slca/slca.h"
+
+namespace xksearch {
+
+/// \brief Exhaustive LCAs — the answer semantics of XRANK [13], which the
+/// paper's Stack algorithm was adapted from.
+///
+/// A node v is an ELCA iff its subtree still contains every keyword
+/// after excluding all occurrences that lie under a descendant of v
+/// whose own subtree contains every keyword. Every SLCA is an ELCA
+/// (nothing below it can absorb occurrences) and every ELCA is an LCA,
+/// so slca ⊆ elca ⊆ lca; ELCA keeps an ancestor only when it has
+/// *fresh* witnesses of its own.
+///
+/// On School.xml with {john, ben}: <classes> contains both keywords but
+/// only via the two class answers below it, so it is an LCA yet not an
+/// ELCA; a <class> that mentioned John again outside any answer subtree
+/// would be.
+///
+/// The implementation is the XRANK-style sort-merge stack: entries carry
+/// per-keyword *free occurrence counts*; a popped entry whose subtree
+/// covers all keywords is an ELCA iff every free count is positive, and
+/// such an entry contributes nothing to its parent's free counts (its
+/// occurrences are absorbed). Cost O(k d sum |Si|), like Stack.
+/// Results are emitted in postorder; use ComputeElcaList for document
+/// order.
+Status ElcaStack(const std::vector<KeywordList*>& lists,
+                 const SlcaOptions& options, QueryStats* stats,
+                 const ResultCallback& emit);
+
+/// Convenience wrapper: collects and sorts into document order.
+Result<std::vector<DeweyId>> ComputeElcaList(
+    const std::vector<KeywordList*>& lists, const SlcaOptions& options = {},
+    QueryStats* stats = nullptr);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SLCA_ELCA_H_

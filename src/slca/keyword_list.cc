@@ -1,0 +1,107 @@
+#include "slca/keyword_list.h"
+
+namespace xksearch {
+
+namespace {
+
+class VectorIterator : public KeywordListIterator {
+ public:
+  VectorIterator(const std::vector<DeweyId>* ids, QueryStats* stats)
+      : ids_(ids), stats_(stats) {}
+
+  bool Next(DeweyId* out) override {
+    if (pos_ >= ids_->size()) return false;
+    *out = (*ids_)[pos_++];
+    if (stats_ != nullptr) ++stats_->postings_read;
+    return true;
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  const std::vector<DeweyId>* ids_;
+  QueryStats* stats_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+class DiskIterator : public KeywordListIterator {
+ public:
+  explicit DiskIterator(DiskIndex::PostingCursor cursor)
+      : cursor_(std::move(cursor)) {}
+
+  bool Next(DeweyId* out) override { return cursor_.Next(out); }
+  const Status& status() const override { return cursor_.status(); }
+
+ private:
+  DiskIndex::PostingCursor cursor_;
+};
+
+class EmptyIterator : public KeywordListIterator {
+ public:
+  bool Next(DeweyId*) override { return false; }
+  const Status& status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+size_t VectorKeywordList::LowerBound(const DeweyId& v) const {
+  size_t lo = 0, hi = ids_->size();
+  uint64_t* cmp = stats_ != nullptr ? &stats_->dewey_comparisons : nullptr;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if ((*ids_)[mid].Compare(v, cmp) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Result<bool> VectorKeywordList::LeftMatch(const DeweyId& v, DeweyId* out) {
+  size_t pos = LowerBound(v);
+  if (pos < ids_->size() && (*ids_)[pos] == v) {
+    *out = (*ids_)[pos];
+    return true;
+  }
+  if (pos == 0) return false;
+  *out = (*ids_)[pos - 1];
+  return true;
+}
+
+Result<bool> VectorKeywordList::RightMatch(const DeweyId& v, DeweyId* out) {
+  const size_t pos = LowerBound(v);
+  if (pos >= ids_->size()) return false;
+  *out = (*ids_)[pos];
+  return true;
+}
+
+Result<std::unique_ptr<KeywordListIterator>> VectorKeywordList::NewIterator() {
+  return std::unique_ptr<KeywordListIterator>(
+      new VectorIterator(ids_, stats_));
+}
+
+Result<bool> DiskKeywordList::LeftMatch(const DeweyId& v, DeweyId* out) {
+  return index_->LeftMatch(term_, v, out, stats_);
+}
+
+Result<bool> DiskKeywordList::RightMatch(const DeweyId& v, DeweyId* out) {
+  return index_->RightMatch(term_, v, out, stats_);
+}
+
+Result<std::unique_ptr<KeywordListIterator>> DiskKeywordList::NewIterator() {
+  XKS_ASSIGN_OR_RETURN(DiskIndex::PostingCursor cursor,
+                       index_->OpenPostings(term_, stats_));
+  return std::unique_ptr<KeywordListIterator>(
+      new DiskIterator(std::move(cursor)));
+}
+
+Result<std::unique_ptr<KeywordListIterator>> EmptyKeywordList::NewIterator() {
+  return std::unique_ptr<KeywordListIterator>(new EmptyIterator());
+}
+
+}  // namespace xksearch

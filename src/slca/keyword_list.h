@@ -1,0 +1,105 @@
+#ifndef XKSEARCH_SLCA_KEYWORD_LIST_H_
+#define XKSEARCH_SLCA_KEYWORD_LIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "dewey/dewey_id.h"
+#include "storage/disk_index.h"
+
+namespace xksearch {
+
+/// \brief Forward scan over a keyword list in Dewey order.
+class KeywordListIterator {
+ public:
+  virtual ~KeywordListIterator() = default;
+
+  /// Produces the next id; false at end of list. Check status() afterwards
+  /// to distinguish clean exhaustion from an I/O or corruption error.
+  virtual bool Next(DeweyId* out) = 0;
+  virtual const Status& status() const = 0;
+};
+
+/// \brief A keyword list `S`: the nodes directly containing one keyword,
+/// sorted by Dewey id (paper Section 2).
+///
+/// The SLCA algorithms are written against this interface so they run
+/// unchanged over in-memory vectors (main-memory complexity analysis) and
+/// over the disk index (disk-access analysis). Implementations charge
+/// their work to the QueryStats supplied at construction.
+class KeywordList {
+ public:
+  virtual ~KeywordList() = default;
+
+  /// List size |S| (the keyword frequency).
+  virtual uint64_t size() const = 0;
+
+  /// lm(v, S): the node of S with the greatest id <= v, or false if none.
+  /// One lm call is one "match operation" in the paper's cost model.
+  virtual Result<bool> LeftMatch(const DeweyId& v, DeweyId* out) = 0;
+
+  /// rm(v, S): the node of S with the smallest id >= v, or false if none.
+  virtual Result<bool> RightMatch(const DeweyId& v, DeweyId* out) = 0;
+
+  /// Opens a fresh scan from the head of the list.
+  virtual Result<std::unique_ptr<KeywordListIterator>> NewIterator() = 0;
+};
+
+/// \brief In-memory list over a sorted vector; lm/rm are binary searches
+/// costing O(d log |S|) Dewey component comparisons, as in Table 1.
+class VectorKeywordList : public KeywordList {
+ public:
+  /// `ids` must stay alive and sorted for the lifetime of this object.
+  VectorKeywordList(const std::vector<DeweyId>* ids, QueryStats* stats)
+      : ids_(ids), stats_(stats) {}
+
+  uint64_t size() const override { return ids_->size(); }
+  Result<bool> LeftMatch(const DeweyId& v, DeweyId* out) override;
+  Result<bool> RightMatch(const DeweyId& v, DeweyId* out) override;
+  Result<std::unique_ptr<KeywordListIterator>> NewIterator() override;
+
+ private:
+  // First index with ids_[i] >= v.
+  size_t LowerBound(const DeweyId& v) const;
+
+  const std::vector<DeweyId>* ids_;
+  QueryStats* stats_;
+};
+
+/// \brief Disk-backed list: lm/rm probe the Indexed Lookup B+tree,
+/// iteration streams the Scan-layout posting blocks.
+class DiskKeywordList : public KeywordList {
+ public:
+  DiskKeywordList(const DiskIndex* index, uint32_t term, uint64_t frequency,
+                  QueryStats* stats)
+      : index_(index), term_(term), frequency_(frequency), stats_(stats) {}
+
+  uint64_t size() const override { return frequency_; }
+  Result<bool> LeftMatch(const DeweyId& v, DeweyId* out) override;
+  Result<bool> RightMatch(const DeweyId& v, DeweyId* out) override;
+  Result<std::unique_ptr<KeywordListIterator>> NewIterator() override;
+
+ private:
+  const DiskIndex* index_;
+  uint32_t term_;
+  uint64_t frequency_;
+  QueryStats* stats_;
+};
+
+/// \brief An always-empty list, used for keywords absent from the index
+/// (the SLCA result is then empty, but algorithms still need k lists).
+class EmptyKeywordList : public KeywordList {
+ public:
+  uint64_t size() const override { return 0; }
+  Result<bool> LeftMatch(const DeweyId&, DeweyId*) override { return false; }
+  Result<bool> RightMatch(const DeweyId&, DeweyId*) override { return false; }
+  Result<std::unique_ptr<KeywordListIterator>> NewIterator() override;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SLCA_KEYWORD_LIST_H_

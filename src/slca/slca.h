@@ -1,0 +1,87 @@
+#ifndef XKSEARCH_SLCA_SLCA_H_
+#define XKSEARCH_SLCA_SLCA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "dewey/dewey_id.h"
+#include "slca/keyword_list.h"
+
+namespace xksearch {
+
+/// Receives each result node as soon as it is confirmed ("eager",
+/// pipelined delivery — paper Section 3.1).
+using ResultCallback = std::function<void(const DeweyId&)>;
+
+/// \brief Tuning knobs shared by the SLCA algorithms.
+struct SlcaOptions {
+  /// The paper's buffer size B for the Indexed Lookup Eager algorithm:
+  /// nodes of S1 are processed in blocks of `block_size`, and confirmed
+  /// SLCAs are delivered at block boundaries. 1 = maximally eager (first
+  /// answer as early as possible); larger values batch delivery. Does not
+  /// affect the result set.
+  size_t block_size = 1;
+};
+
+/// \brief One step of the Indexed Lookup chain (paper Properties 1-3):
+/// returns slca({x}, S), i.e. the deeper of lca(x, lm(x, S)) and
+/// lca(x, rm(x, S)). Returns the empty id iff the list is empty.
+/// Charges two match operations and up to two LCA computations to `stats`.
+Result<DeweyId> MatchStep(const DeweyId& x, KeywordList* list,
+                          QueryStats* stats);
+
+/// \brief The Indexed Lookup Eager algorithm (paper Algorithm 1/2).
+///
+/// `lists[0]` should be the smallest list (the query engine orders lists
+/// by frequency); correctness does not depend on the order, only cost.
+/// For each v in S1 the chain of MatchStep calls over lists[1..k-1]
+/// computes slca({v}, S2, ..., Sk); Lemma 1 discards out-of-order
+/// candidates and Lemma 2 confirms a candidate as soon as its successor
+/// is not its descendant. Main-memory cost O(k d |S1| log |S|).
+/// Results arrive through `emit` in document order, duplicate-free.
+Status IndexedLookupEagerSlca(const std::vector<KeywordList*>& lists,
+                              const SlcaOptions& options, QueryStats* stats,
+                              const ResultCallback& emit);
+
+/// \brief The Scan Eager variant (paper Section 3.2): identical driver,
+/// but lm/rm are implemented by advancing one cursor per keyword list,
+/// exploiting the fact that probes into each list are nondecreasing.
+/// Cost O(d * sum |Si| + k d |S1|); preferable when frequencies are close.
+Status ScanEagerSlca(const std::vector<KeywordList*>& lists,
+                     const SlcaOptions& options, QueryStats* stats,
+                     const ResultCallback& emit);
+
+/// \brief The Stack algorithm (paper Section 3.3): XRANK's sort-merge
+/// stack [13] modified to return SLCAs. Merges all k lists in document
+/// order and maintains a stack of Dewey components with per-keyword
+/// containment flags. Cost O(k d * sum |Si|); always reads every list
+/// in full.
+Status StackSlca(const std::vector<KeywordList*>& lists,
+                 const SlcaOptions& options, QueryStats* stats,
+                 const ResultCallback& emit);
+
+enum class SlcaAlgorithm {
+  kIndexedLookupEager,
+  kScanEager,
+  kStack,
+};
+
+std::string ToString(SlcaAlgorithm algorithm);
+
+/// Dispatches to one of the three algorithms.
+Status ComputeSlca(SlcaAlgorithm algorithm,
+                   const std::vector<KeywordList*>& lists,
+                   const SlcaOptions& options, QueryStats* stats,
+                   const ResultCallback& emit);
+
+/// Convenience wrapper collecting the results into a vector.
+Result<std::vector<DeweyId>> ComputeSlcaList(
+    SlcaAlgorithm algorithm, const std::vector<KeywordList*>& lists,
+    const SlcaOptions& options = {}, QueryStats* stats = nullptr);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SLCA_SLCA_H_

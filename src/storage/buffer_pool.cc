@@ -1,0 +1,139 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace xksearch {
+
+PageRef::~PageRef() { Release(); }
+
+void PageRef::Release() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    pool_->Unpin(id_);
+  }
+  pool_ = nullptr;
+  page_ = nullptr;
+}
+
+void MutPageRef::Release() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    pool_->Unpin(id_);
+  }
+  pool_ = nullptr;
+  page_ = nullptr;
+}
+
+BufferPool::BufferPool(PageStore* store, size_t capacity)
+    : store_(store), capacity_(capacity == 0 ? 1 : capacity) {}
+
+Result<Page*> BufferPool::PinFrame(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++total_hits_;
+    if (stats_ != nullptr) ++stats_->page_hits;
+    Frame& frame = it->second;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return frame.page.get();
+  }
+
+  ++total_misses_;
+  if (stats_ != nullptr) ++stats_->page_reads;
+
+  while (frames_.size() >= capacity_) {
+    Status evicted = EvictOne();
+    if (evicted.IsNotFound()) {
+      return Status::Internal("buffer pool exhausted: all pages pinned");
+    }
+    XKS_RETURN_NOT_OK(evicted);
+  }
+
+  auto page = std::make_unique<Page>();
+  XKS_RETURN_NOT_OK(store_->ReadPage(id, page.get()));
+  Frame frame;
+  frame.page = std::move(page);
+  frame.pin_count = 1;
+  Page* raw = frame.page.get();
+  frames_.emplace(id, std::move(frame));
+  return raw;
+}
+
+Result<PageRef> BufferPool::Fetch(PageId id) {
+  XKS_ASSIGN_OR_RETURN(Page* page, PinFrame(id));
+  return PageRef(this, id, page);
+}
+
+Result<MutPageRef> BufferPool::FetchMut(PageId id) {
+  XKS_ASSIGN_OR_RETURN(Page* page, PinFrame(id));
+  frames_.find(id)->second.dirty = true;
+  return MutPageRef(this, id, page);
+}
+
+Result<MutPageRef> BufferPool::NewPage() {
+  XKS_ASSIGN_OR_RETURN(const PageId id, store_->AllocatePage());
+  return FetchMut(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (!frame.dirty) continue;
+    XKS_RETURN_NOT_OK(store_->WritePage(id, *frame.page));
+    frame.dirty = false;
+  }
+  return store_->Sync();
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  Frame& frame = it->second;
+  assert(frame.pin_count > 0);
+  --frame.pin_count;
+  if (frame.pin_count == 0) {
+    lru_.push_front(id);
+    frame.lru_pos = lru_.begin();
+    frame.in_lru = true;
+  }
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::NotFound("no evictable frame");
+  }
+  const PageId victim = lru_.back();
+  auto it = frames_.find(victim);
+  assert(it != frames_.end());
+  if (it->second.dirty) {
+    XKS_RETURN_NOT_OK(store_->WritePage(victim, *it->second.page));
+  }
+  lru_.pop_back();
+  frames_.erase(it);
+  return Status::OK();
+}
+
+Status BufferPool::DropAll() {
+  for (const auto& [id, frame] : frames_) {
+    if (frame.pin_count > 0) {
+      return Status::Internal("cannot drop buffer pool: page " +
+                              std::to_string(id) + " is pinned");
+    }
+  }
+  XKS_RETURN_NOT_OK(FlushAll());
+  frames_.clear();
+  lru_.clear();
+  return Status::OK();
+}
+
+Status BufferPool::WarmAll() {
+  const PageId n = store_->page_count();
+  for (PageId id = 0; id < n && frames_.size() < capacity_; ++id) {
+    if (frames_.count(id)) continue;
+    XKS_ASSIGN_OR_RETURN(PageRef ref, Fetch(id));
+    ref.Release();
+  }
+  return Status::OK();
+}
+
+}  // namespace xksearch

@@ -1,0 +1,178 @@
+#ifndef XKSEARCH_STORAGE_BUFFER_POOL_H_
+#define XKSEARCH_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace xksearch {
+
+class BufferPool;
+
+/// \brief RAII write pin on a cached page: the frame is marked dirty and
+/// the page may be mutated until release.
+class MutPageRef {
+ public:
+  MutPageRef() = default;
+  MutPageRef(BufferPool* pool, PageId id, Page* page)
+      : pool_(pool), id_(id), page_(page) {}
+  ~MutPageRef() { Release(); }
+
+  MutPageRef(const MutPageRef&) = delete;
+  MutPageRef& operator=(const MutPageRef&) = delete;
+  MutPageRef(MutPageRef&& other) noexcept { MoveFrom(&other); }
+  MutPageRef& operator=(MutPageRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  bool valid() const { return page_ != nullptr; }
+  Page& page() const { return *page_; }
+  PageId id() const { return id_; }
+
+  void Release();
+
+ private:
+  void MoveFrom(MutPageRef* other) {
+    pool_ = other->pool_;
+    id_ = other->id_;
+    page_ = other->page_;
+    other->pool_ = nullptr;
+    other->page_ = nullptr;
+  }
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPage;
+  Page* page_ = nullptr;
+};
+
+/// \brief RAII pin on a cached page. The referenced page stays resident
+/// while at least one PageRef to it is alive.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(BufferPool* pool, PageId id, const Page* page)
+      : pool_(pool), id_(id), page_(page) {}
+  ~PageRef();
+
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& other) noexcept { MoveFrom(&other); }
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  bool valid() const { return page_ != nullptr; }
+  const Page& page() const { return *page_; }
+  PageId id() const { return id_; }
+
+  void Release();
+
+ private:
+  void MoveFrom(PageRef* other) {
+    pool_ = other->pool_;
+    id_ = other->id_;
+    page_ = other->page_;
+    other->pool_ = nullptr;
+    other->page_ = nullptr;
+  }
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPage;
+  const Page* page_ = nullptr;
+};
+
+class MutPageRef;
+
+/// \brief Page cache with LRU replacement, pin counting and write-back.
+///
+/// Models the database buffer pool the paper's disk-access analysis
+/// assumes: a buffer-pool miss is one "disk access" (charged to the
+/// attached QueryStats), a hit is free. `DropAll()` emulates a cold cache,
+/// `WarmAll()` a hot one. The bulk index builders write through the
+/// PageStore directly; the mutable B+tree updates pages in place via
+/// FetchMut/NewPage, and dirty frames are written back on eviction,
+/// FlushAll, or DropAll.
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames (>= 1). The pool does not own
+  /// the store.
+  BufferPool(PageStore* store, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches and pins a page.
+  Result<PageRef> Fetch(PageId id);
+
+  /// Fetches a page for writing: pins it and marks the frame dirty; the
+  /// bytes reach the store on eviction or FlushAll.
+  Result<MutPageRef> FetchMut(PageId id);
+
+  /// Allocates a fresh zeroed page in the store and returns it pinned
+  /// for writing.
+  Result<MutPageRef> NewPage();
+
+  /// Writes every dirty frame back to the store (pages stay cached).
+  Status FlushAll();
+
+  /// Routes subsequent hit/miss counts to `stats` (may be null).
+  void AttachStats(QueryStats* stats) { stats_ = stats; }
+
+  /// Flushes dirty frames, then evicts every unpinned page; fails if any
+  /// page is pinned.
+  Status DropAll();
+
+  /// Prefetches every page of the store (up to capacity).
+  Status WarmAll();
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return frames_.size(); }
+  uint64_t total_misses() const { return total_misses_; }
+  uint64_t total_hits() const { return total_hits_; }
+
+ private:
+  friend class PageRef;
+  friend class MutPageRef;
+
+  struct Frame {
+    std::unique_ptr<Page> page;
+    uint32_t pin_count = 0;
+    // Position in lru_ when pin_count == 0.
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+    bool dirty = false;
+  };
+
+  void Unpin(PageId id);
+  // Pins an existing or freshly-read frame; shared by Fetch/FetchMut.
+  Result<Page*> PinFrame(PageId id);
+  // Evicts one unpinned frame (writing it back if dirty); kNotFound when
+  // every frame is pinned.
+  Status EvictOne();
+
+  PageStore* store_;
+  size_t capacity_;
+  QueryStats* stats_ = nullptr;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recently used
+  uint64_t total_misses_ = 0;
+  uint64_t total_hits_ = 0;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,572 @@
+#include "storage/disk_index.h"
+
+#include <cstring>
+
+#include "common/bitio.h"
+
+namespace xksearch {
+
+namespace {
+
+// Index metadata blob: level table + codec flags.
+constexpr uint8_t kMetaFormatVersion = 2;
+
+void AppendBigEndian32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+bool HasTermPrefix(std::string_view key, uint32_t term) {
+  if (key.size() < 4) return false;
+  std::string prefix;
+  AppendBigEndian32(term, &prefix);
+  return key.substr(0, 4) == prefix;
+}
+
+std::vector<uint8_t> EncodeIndexMeta(const LevelTable& table,
+                                     bool compress_dewey, bool delta_compress,
+                                     uint64_t total_postings,
+                                     const TokenizerOptions& tokenizer) {
+  std::vector<uint8_t> out;
+  out.push_back(kMetaFormatVersion);
+  out.push_back(compress_dewey ? 1 : 0);
+  out.push_back(delta_compress ? 1 : 0);
+  PutVarint64(&out, total_postings);
+  out.push_back(tokenizer.lowercase ? 1 : 0);
+  PutVarint64(&out, tokenizer.min_length);
+  table.EncodeTo(&out);
+  return out;
+}
+
+struct IndexMeta {
+  LevelTable table;
+  bool compress_dewey;
+  bool delta_compress;
+  uint64_t total_postings;
+  TokenizerOptions tokenizer;
+};
+
+Result<IndexMeta> DecodeIndexMeta(const std::vector<uint8_t>& blob) {
+  if (blob.size() < 3 || blob[0] != kMetaFormatVersion) {
+    return Status::Corruption("bad index metadata header");
+  }
+  IndexMeta meta;
+  meta.compress_dewey = blob[1] != 0;
+  meta.delta_compress = blob[2] != 0;
+  size_t pos = 3;
+  if (!GetVarint64(blob.data(), blob.size(), &pos, &meta.total_postings)) {
+    return Status::Corruption("bad index metadata postings count");
+  }
+  if (pos >= blob.size()) {
+    return Status::Corruption("bad index metadata tokenizer flags");
+  }
+  meta.tokenizer.lowercase = blob[pos++] != 0;
+  uint64_t min_length = 0;
+  if (!GetVarint64(blob.data(), blob.size(), &pos, &min_length)) {
+    return Status::Corruption("bad index metadata tokenizer min length");
+  }
+  meta.tokenizer.min_length = static_cast<size_t>(min_length);
+  XKS_ASSIGN_OR_RETURN(meta.table,
+                       LevelTable::DecodeFrom(blob.data(), blob.size(), &pos));
+  return meta;
+}
+
+}  // namespace
+
+void DiskIndex::EncodeIlKey(const DeweyCodec& codec, uint32_t term,
+                            const DeweyId& id, std::string* out) {
+  out->clear();
+  AppendBigEndian32(term, out);
+  std::vector<uint8_t> enc = codec.Encode(id);
+  out->append(reinterpret_cast<const char*>(enc.data()), enc.size());
+}
+
+Result<std::unique_ptr<DiskIndex>> DiskIndex::Build(
+    const InvertedIndex& src, const std::string& path_prefix,
+    const DiskIndexOptions& options) {
+  std::unique_ptr<DiskIndex> index(new DiskIndex());
+
+  if (options.in_memory) {
+    index->il_store_ = std::make_unique<MemPageStore>();
+    index->scan_store_ = std::make_unique<MemPageStore>();
+    index->dict_store_ = std::make_unique<MemPageStore>();
+  } else {
+    XKS_ASSIGN_OR_RETURN(index->il_store_,
+                         FilePageStore::Create(path_prefix + ".il"));
+    XKS_ASSIGN_OR_RETURN(index->scan_store_,
+                         FilePageStore::Create(path_prefix + ".scan"));
+    XKS_ASSIGN_OR_RETURN(index->dict_store_,
+                         FilePageStore::Create(path_prefix + ".dict"));
+  }
+
+  const LevelTable& table =
+      options.compress_dewey ? src.level_table() : LevelTable();
+  const DeweyCodec codec(table);
+  const std::vector<uint8_t> meta = EncodeIndexMeta(
+      table, options.compress_dewey, options.delta_compress,
+      src.total_postings(), src.options().tokenizer);
+
+  const std::vector<std::string> terms = src.Terms();
+
+  // Dictionary tree: term -> (id, frequency). Terms are sorted, and ids
+  // are assigned in that order, so all three trees load in key order.
+  {
+    BPlusTreeBuilder builder(index->dict_store_.get());
+    for (uint32_t id = 0; id < terms.size(); ++id) {
+      const std::vector<DeweyId>* list = src.Find(terms[id]);
+      std::vector<uint8_t> value;
+      PutVarint32(&value, id);
+      PutVarint64(&value, list->size());
+      XKS_RETURN_NOT_OK(builder.Add(
+          terms[id], std::string_view(reinterpret_cast<const char*>(
+                                          value.data()),
+                                      value.size())));
+    }
+    XKS_RETURN_NOT_OK(builder.Finish());
+  }
+
+  // Indexed Lookup tree: composite (term, Dewey) keys, empty values.
+  {
+    BPlusTreeBuilder builder(index->il_store_.get());
+    builder.SetMetadata(meta);
+    std::string key;
+    for (uint32_t id = 0; id < terms.size(); ++id) {
+      for (const DeweyId& node : *src.Find(terms[id])) {
+        EncodeIlKey(codec, id, node, &key);
+        XKS_RETURN_NOT_OK(builder.Add(key, ""));
+      }
+    }
+    XKS_RETURN_NOT_OK(builder.Finish());
+  }
+
+  // Scan tree: (term, first Dewey id of the block) -> delta-compressed
+  // run of ids. Keying blocks by their first id (rather than a block
+  // ordinal) lets the incremental updater locate, split and re-key
+  // blocks with ordinary tree operations.
+  {
+    BPlusTreeBuilder builder(index->scan_store_.get());
+    builder.SetMetadata(meta);
+    std::string key;
+    for (uint32_t id = 0; id < terms.size(); ++id) {
+      DeltaBlockEncoder block(options.delta_compress);
+      bool have_first = false;
+      auto flush = [&]() -> Status {
+        if (block.count() == 0) return Status::OK();
+        const std::vector<uint8_t> payload = block.Finish();
+        have_first = false;
+        return builder.Add(
+            key, std::string_view(
+                     reinterpret_cast<const char*>(payload.data()),
+                     payload.size()));
+      };
+      for (const DeweyId& node : *src.Find(terms[id])) {
+        if (!have_first) {
+          EncodeIlKey(codec, id, node, &key);
+          have_first = true;
+        }
+        block.Append(node);
+        if (block.SizeBytes() >= options.scan_block_bytes) {
+          XKS_RETURN_NOT_OK(flush());
+        }
+      }
+      XKS_RETURN_NOT_OK(flush());
+    }
+    XKS_RETURN_NOT_OK(builder.Finish());
+  }
+
+  XKS_RETURN_NOT_OK(index->InitTreesAndDict(options));
+  return index;
+}
+
+Result<std::unique_ptr<DiskIndex>> DiskIndex::Open(
+    const std::string& path_prefix, const DiskIndexOptions& options) {
+  if (options.in_memory) {
+    return Status::InvalidArgument(
+        "an in-memory index cannot be reopened; use Build");
+  }
+  std::unique_ptr<DiskIndex> index(new DiskIndex());
+  XKS_ASSIGN_OR_RETURN(index->il_store_,
+                       FilePageStore::Open(path_prefix + ".il"));
+  XKS_ASSIGN_OR_RETURN(index->scan_store_,
+                       FilePageStore::Open(path_prefix + ".scan"));
+  XKS_ASSIGN_OR_RETURN(index->dict_store_,
+                       FilePageStore::Open(path_prefix + ".dict"));
+  XKS_RETURN_NOT_OK(index->InitTreesAndDict(options));
+  return index;
+}
+
+Status DiskIndex::InitTreesAndDict(const DiskIndexOptions& options) {
+  il_pool_ = std::make_unique<BufferPool>(il_store_.get(),
+                                          options.il_pool_pages);
+  scan_pool_ = std::make_unique<BufferPool>(scan_store_.get(),
+                                            options.scan_pool_pages);
+  XKS_ASSIGN_OR_RETURN(BPlusTree il_tree, BPlusTree::Open(il_pool_.get()));
+  il_tree_ = std::move(il_tree);
+  XKS_ASSIGN_OR_RETURN(BPlusTree scan_tree, BPlusTree::Open(scan_pool_.get()));
+  scan_tree_ = std::move(scan_tree);
+
+  XKS_ASSIGN_OR_RETURN(IndexMeta meta, DecodeIndexMeta(il_tree_->metadata()));
+  codec_.emplace(std::move(meta.table));
+  total_postings_ = meta.total_postings;
+  tokenizer_ = meta.tokenizer;
+
+  // Load the dictionary (frequency table) into memory, as XKSearch's
+  // initializer does. The dictionary file is not touched afterwards.
+  BufferPool dict_pool(dict_store_.get(), 64);
+  XKS_ASSIGN_OR_RETURN(BPlusTree dict_tree, BPlusTree::Open(&dict_pool));
+  BPlusTree::Cursor cursor = dict_tree.NewCursor();
+  XKS_RETURN_NOT_OK(cursor.SeekToFirst());
+  while (cursor.Valid()) {
+    const std::string_view value = cursor.value();
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(value.data());
+    size_t pos = 0;
+    uint32_t id = 0;
+    uint64_t freq = 0;
+    if (!GetVarint32(data, value.size(), &pos, &id) ||
+        !GetVarint64(data, value.size(), &pos, &freq)) {
+      return Status::Corruption("bad dictionary entry");
+    }
+    dict_.emplace(std::string(cursor.key()), TermInfo{id, freq});
+    XKS_RETURN_NOT_OK(cursor.Next());
+  }
+  return Status::OK();
+}
+
+const DiskIndex::TermInfo* DiskIndex::FindTerm(std::string_view keyword) const {
+  auto it = dict_.find(std::string(keyword));
+  return it == dict_.end() ? nullptr : &it->second;
+}
+
+Result<bool> DiskIndex::RightMatch(uint32_t term, const DeweyId& v,
+                                   DeweyId* out, QueryStats* stats) const {
+  std::string key;
+  EncodeIlKey(*codec_, term, v, &key);
+  BPlusTree::Cursor cursor = il_tree_->NewCursor();
+  XKS_RETURN_NOT_OK(cursor.Seek(key));
+  if (!cursor.Valid() || !HasTermPrefix(cursor.key(), term)) return false;
+  if (stats != nullptr) ++stats->postings_read;
+  const std::string_view rest = cursor.key().substr(4);
+  XKS_ASSIGN_OR_RETURN(
+      *out, codec_->Decode(reinterpret_cast<const uint8_t*>(rest.data()),
+                           rest.size()));
+  return true;
+}
+
+Result<bool> DiskIndex::LeftMatch(uint32_t term, const DeweyId& v,
+                                  DeweyId* out, QueryStats* stats) const {
+  std::string key;
+  EncodeIlKey(*codec_, term, v, &key);
+  BPlusTree::Cursor cursor = il_tree_->NewCursor();
+  XKS_RETURN_NOT_OK(cursor.SeekForPrev(key));
+  if (!cursor.Valid() || !HasTermPrefix(cursor.key(), term)) return false;
+  if (stats != nullptr) ++stats->postings_read;
+  const std::string_view rest = cursor.key().substr(4);
+  XKS_ASSIGN_OR_RETURN(
+      *out, codec_->Decode(reinterpret_cast<const uint8_t*>(rest.data()),
+                           rest.size()));
+  return true;
+}
+
+Result<DiskIndex::PostingCursor> DiskIndex::OpenPostings(
+    uint32_t term, QueryStats* stats) const {
+  BPlusTree::Cursor cursor = scan_tree_->NewCursor();
+  // The bare 4-byte term prefix sorts before every (term, dewey) key.
+  std::string key;
+  AppendBigEndian32(term, &key);
+  XKS_RETURN_NOT_OK(cursor.Seek(key));
+  PostingCursor pc(this, term, std::move(cursor));
+  pc.stats_ = stats;
+  return pc;
+}
+
+bool DiskIndex::PostingCursor::LoadBlock() {
+  if (!cursor_.Valid() || !HasTermPrefix(cursor_.key(), term_)) {
+    done_ = true;
+    return false;
+  }
+  block_.assign(cursor_.value());
+  decoder_.emplace(reinterpret_cast<const uint8_t*>(block_.data()),
+                   block_.size());
+  status_ = cursor_.Next();
+  if (!status_.ok()) {
+    done_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool DiskIndex::PostingCursor::Next(DeweyId* out) {
+  for (;;) {
+    if (decoder_.has_value()) {
+      if (decoder_->Next(out)) {
+        if (stats_ != nullptr) ++stats_->postings_read;
+        return true;
+      }
+      if (!decoder_->status().ok()) {
+        status_ = decoder_->status();
+        return false;
+      }
+      decoder_.reset();
+    }
+    if (done_) return false;
+    if (!LoadBlock()) return false;
+  }
+}
+
+void DiskIndex::AttachStats(QueryStats* stats) {
+  il_pool_->AttachStats(stats);
+  scan_pool_->AttachStats(stats);
+}
+
+Status DiskIndex::DropCaches() {
+  XKS_RETURN_NOT_OK(il_pool_->DropAll());
+  return scan_pool_->DropAll();
+}
+
+Status DiskIndex::WarmCaches() {
+  XKS_RETURN_NOT_OK(il_pool_->WarmAll());
+  return scan_pool_->WarmAll();
+}
+
+
+Result<std::unique_ptr<DiskIndexUpdater>> DiskIndexUpdater::Open(
+    const std::string& path_prefix, const DiskIndexOptions& options) {
+  if (options.in_memory) {
+    return Status::InvalidArgument(
+        "the updater maintains file-backed indexes only");
+  }
+  std::unique_ptr<DiskIndexUpdater> updater(new DiskIndexUpdater());
+  updater->path_prefix_ = path_prefix;
+  updater->options_ = options;
+  XKS_ASSIGN_OR_RETURN(updater->il_store_,
+                       FilePageStore::Open(path_prefix + ".il"));
+  XKS_ASSIGN_OR_RETURN(updater->scan_store_,
+                       FilePageStore::Open(path_prefix + ".scan"));
+  updater->il_pool_ = std::make_unique<BufferPool>(updater->il_store_.get(),
+                                                   options.il_pool_pages);
+  updater->scan_pool_ = std::make_unique<BufferPool>(
+      updater->scan_store_.get(), options.scan_pool_pages);
+  XKS_ASSIGN_OR_RETURN(BPlusTreeMut il_tree,
+                       BPlusTreeMut::Open(updater->il_pool_.get()));
+  updater->il_tree_ = std::make_unique<BPlusTreeMut>(std::move(il_tree));
+  XKS_ASSIGN_OR_RETURN(BPlusTreeMut scan_tree,
+                       BPlusTreeMut::Open(updater->scan_pool_.get()));
+  updater->scan_tree_ = std::make_unique<BPlusTreeMut>(std::move(scan_tree));
+
+  XKS_ASSIGN_OR_RETURN(IndexMeta meta,
+                       DecodeIndexMeta(updater->il_tree_->metadata()));
+  updater->codec_.emplace(std::move(meta.table));
+  updater->delta_compress_ = meta.delta_compress;
+  updater->compress_dewey_ = meta.compress_dewey;
+  updater->tokenizer_ = meta.tokenizer;
+  updater->total_postings_ = meta.total_postings;
+
+  // Load the dictionary; term ids stay stable, new terms extend it.
+  {
+    XKS_ASSIGN_OR_RETURN(std::unique_ptr<FilePageStore> dict_store,
+                         FilePageStore::Open(path_prefix + ".dict"));
+    BufferPool dict_pool(dict_store.get(), 64);
+    XKS_ASSIGN_OR_RETURN(BPlusTree dict_tree, BPlusTree::Open(&dict_pool));
+    BPlusTree::Cursor cursor = dict_tree.NewCursor();
+    XKS_RETURN_NOT_OK(cursor.SeekToFirst());
+    while (cursor.Valid()) {
+      const std::string_view value = cursor.value();
+      const uint8_t* data = reinterpret_cast<const uint8_t*>(value.data());
+      size_t pos = 0;
+      uint32_t id = 0;
+      uint64_t freq = 0;
+      if (!GetVarint32(data, value.size(), &pos, &id) ||
+          !GetVarint64(data, value.size(), &pos, &freq)) {
+        return Status::Corruption("bad dictionary entry");
+      }
+      updater->dict_.emplace(std::string(cursor.key()),
+                             DiskIndex::TermInfo{id, freq});
+      updater->next_term_id_ = std::max(updater->next_term_id_, id + 1);
+      XKS_RETURN_NOT_OK(cursor.Next());
+    }
+  }
+  return updater;
+}
+
+uint64_t DiskIndexUpdater::Frequency(std::string_view keyword) const {
+  auto it = dict_.find(std::string(keyword));
+  return it == dict_.end() ? 0 : it->second.frequency;
+}
+
+Status DiskIndexUpdater::AddPosting(std::string_view keyword,
+                                    const DeweyId& id) {
+  assert(!finished_);
+  if (!codec_->CanEncode(id)) {
+    return Status::InvalidArgument(
+        "Dewey id " + id.ToString() +
+        " exceeds the index's level table; rebuild with a wider table");
+  }
+  const std::string kw(keyword);
+  if (kw.empty()) {
+    return Status::InvalidArgument("empty keyword");
+  }
+  auto [it, inserted] =
+      dict_.try_emplace(kw, DiskIndex::TermInfo{next_term_id_, 0});
+  if (inserted) ++next_term_id_;
+  const uint32_t term = it->second.id;
+
+  std::string key;
+  DiskIndex::EncodeIlKey(*codec_, term, id, &key);
+  if (il_tree_->Get(key).ok()) {
+    return Status::OK();  // posting already present
+  }
+  XKS_RETURN_NOT_OK(il_tree_->Put(key, ""));
+  ++it->second.frequency;
+  ++total_postings_;
+  return InsertIntoBlock(term, id);
+}
+
+Status DiskIndexUpdater::RemovePosting(std::string_view keyword,
+                                       const DeweyId& id) {
+  assert(!finished_);
+  auto it = dict_.find(std::string(keyword));
+  if (it == dict_.end()) {
+    return Status::NotFound("keyword not in index");
+  }
+  const uint32_t term = it->second.id;
+  std::string key;
+  DiskIndex::EncodeIlKey(*codec_, term, id, &key);
+  XKS_RETURN_NOT_OK(il_tree_->Delete(key));
+  --it->second.frequency;
+  --total_postings_;
+  if (it->second.frequency == 0) dict_.erase(it);
+  return RemoveFromBlock(term, id);
+}
+
+Status DiskIndexUpdater::WriteBlock(const std::string& key,
+                                    const std::vector<DeweyId>& ids) {
+  DeltaBlockEncoder encoder(delta_compress_);
+  for (const DeweyId& id : ids) encoder.Append(id);
+  const std::vector<uint8_t> payload = encoder.Finish();
+  return scan_tree_->Put(
+      key, std::string_view(reinterpret_cast<const char*>(payload.data()),
+                            payload.size()));
+}
+
+Status DiskIndexUpdater::InsertIntoBlock(uint32_t term, const DeweyId& id) {
+  std::string probe;
+  DiskIndex::EncodeIlKey(*codec_, term, id, &probe);
+
+  // The hosting block is the last one whose first id <= the new id; if
+  // the id precedes every block, it joins the term's first block.
+  std::string block_key, payload;
+  XKS_ASSIGN_OR_RETURN(bool found,
+                       scan_tree_->FindFloor(probe, &block_key, &payload));
+  if (!found || !HasTermPrefix(block_key, term)) {
+    std::string prefix;
+    AppendBigEndian32(term, &prefix);
+    XKS_ASSIGN_OR_RETURN(found,
+                         scan_tree_->FindCeil(prefix, &block_key, &payload));
+    if (!found || !HasTermPrefix(block_key, term)) {
+      // First posting of this term.
+      return WriteBlock(probe, {id});
+    }
+  }
+
+  std::vector<DeweyId> ids;
+  DeltaBlockDecoder decoder(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  DeweyId decoded;
+  while (decoder.Next(&decoded)) ids.push_back(decoded);
+  XKS_RETURN_NOT_OK(decoder.status());
+
+  const auto pos = std::lower_bound(ids.begin(), ids.end(), id);
+  if (pos != ids.end() && *pos == id) return Status::OK();
+  const bool new_head = pos == ids.begin();
+  ids.insert(pos, id);
+
+  if (new_head) {
+    // The block's key is its first id; re-key it.
+    XKS_RETURN_NOT_OK(scan_tree_->Delete(block_key));
+    block_key = probe;
+  }
+
+  // Estimate the encoded size; split the block once it outgrows the
+  // budget so no block ever threatens the page-entry limit.
+  DeltaBlockEncoder probe_encoder(delta_compress_);
+  for (const DeweyId& v : ids) probe_encoder.Append(v);
+  if (probe_encoder.SizeBytes() <= options_.scan_block_bytes) {
+    return WriteBlock(block_key, ids);
+  }
+  const size_t mid = ids.size() / 2;
+  const std::vector<DeweyId> left(ids.begin(), ids.begin() + mid);
+  const std::vector<DeweyId> right(ids.begin() + mid, ids.end());
+  XKS_RETURN_NOT_OK(WriteBlock(block_key, left));
+  std::string right_key;
+  DiskIndex::EncodeIlKey(*codec_, term, right.front(), &right_key);
+  return WriteBlock(right_key, right);
+}
+
+Status DiskIndexUpdater::RemoveFromBlock(uint32_t term, const DeweyId& id) {
+  std::string probe;
+  DiskIndex::EncodeIlKey(*codec_, term, id, &probe);
+  std::string block_key, payload;
+  XKS_ASSIGN_OR_RETURN(bool found,
+                       scan_tree_->FindFloor(probe, &block_key, &payload));
+  if (!found || !HasTermPrefix(block_key, term)) {
+    return Status::Corruption("posting missing from scan layout");
+  }
+  std::vector<DeweyId> ids;
+  DeltaBlockDecoder decoder(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  DeweyId decoded;
+  while (decoder.Next(&decoded)) ids.push_back(decoded);
+  XKS_RETURN_NOT_OK(decoder.status());
+
+  const auto pos = std::lower_bound(ids.begin(), ids.end(), id);
+  if (pos == ids.end() || *pos != id) {
+    return Status::Corruption("posting missing from scan block");
+  }
+  const bool was_head = pos == ids.begin();
+  ids.erase(pos);
+  if (ids.empty()) {
+    return scan_tree_->Delete(block_key);
+  }
+  if (was_head) {
+    XKS_RETURN_NOT_OK(scan_tree_->Delete(block_key));
+    DiskIndex::EncodeIlKey(*codec_, term, ids.front(), &block_key);
+  }
+  return WriteBlock(block_key, ids);
+}
+
+Status DiskIndexUpdater::Finish() {
+  assert(!finished_);
+  finished_ = true;
+
+  const LevelTable& table = codec_->level_table();
+  const std::vector<uint8_t> meta = EncodeIndexMeta(
+      table, compress_dewey_, delta_compress_, total_postings_, tokenizer_);
+  il_tree_->SetMetadata(meta);
+  scan_tree_->SetMetadata(meta);
+  XKS_RETURN_NOT_OK(il_tree_->Flush());
+  XKS_RETURN_NOT_OK(scan_tree_->Flush());
+
+  // Rewrite the dictionary from scratch (it is small and the bulk
+  // builder wants sorted keys anyway).
+  std::vector<std::string> terms;
+  terms.reserve(dict_.size());
+  for (const auto& [term, info] : dict_) terms.push_back(term);
+  std::sort(terms.begin(), terms.end());
+  XKS_ASSIGN_OR_RETURN(std::unique_ptr<FilePageStore> dict_store,
+                       FilePageStore::Create(path_prefix_ + ".dict"));
+  BPlusTreeBuilder builder(dict_store.get());
+  for (const std::string& term : terms) {
+    const DiskIndex::TermInfo& info = dict_.at(term);
+    std::vector<uint8_t> value;
+    PutVarint32(&value, info.id);
+    PutVarint64(&value, info.frequency);
+    XKS_RETURN_NOT_OK(builder.Add(
+        term, std::string_view(reinterpret_cast<const char*>(value.data()),
+                               value.size())));
+  }
+  return builder.Finish();
+}
+
+}  // namespace xksearch

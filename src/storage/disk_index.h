@@ -1,0 +1,226 @@
+#ifndef XKSEARCH_STORAGE_DISK_INDEX_H_
+#define XKSEARCH_STORAGE_DISK_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "dewey/codec.h"
+#include "dewey/dewey_id.h"
+#include "index/inverted_index.h"
+#include "index/tokenizer.h"
+#include "storage/bptree.h"
+#include "storage/bptree_mut.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace xksearch {
+
+/// \brief Options for building / opening a disk index.
+struct DiskIndexOptions {
+  /// Back the index by MemPageStore instead of files. Page-level behaviour
+  /// (buffer pool, "disk accesses") is identical; only persistence differs.
+  bool in_memory = false;
+  /// Buffer-pool frames for the Indexed Lookup tree.
+  size_t il_pool_pages = 8192;
+  /// Buffer-pool frames for the Scan/Stack tree.
+  size_t scan_pool_pages = 8192;
+  /// Target payload bytes per posting block in the scan layout.
+  size_t scan_block_bytes = 3600;
+  /// Level-table Dewey compression for IL keys (paper Section 4); when
+  /// false a fixed 32-bit-per-component codec is used (ablation X2).
+  bool compress_dewey = true;
+  /// Prefix-delta compression inside posting blocks (ablation X2).
+  bool delta_compress = true;
+};
+
+/// \brief The XKSearch on-disk index (paper Section 4).
+///
+/// Holds the two B+tree organizations the paper describes:
+///  * the **Indexed Lookup tree**: one B+tree whose composite keys are
+///    (keyword, Dewey id) — keywords primary, Dewey numbers secondary —
+///    so lm/rm match operations are single tree probes;
+///  * the **Scan tree**: keyword lists chopped into delta-compressed
+///    blocks keyed by (keyword, block#), read sequentially by the Scan
+///    Eager and Stack algorithms.
+///
+/// The keyword dictionary (the paper's frequency table) is loaded into an
+/// in-memory hash table at open, mirroring XKSearch's initializer.
+class DiskIndex {
+ public:
+  struct TermInfo {
+    uint32_t id;
+    uint64_t frequency;
+  };
+
+  /// Builds both layouts (plus the dictionary) from an in-memory index.
+  /// In file mode this writes `<prefix>.il`, `<prefix>.scan` and
+  /// `<prefix>.dict`.
+  static Result<std::unique_ptr<DiskIndex>> Build(
+      const InvertedIndex& src, const std::string& path_prefix,
+      const DiskIndexOptions& options = {});
+
+  /// Opens a previously built file-backed index.
+  static Result<std::unique_ptr<DiskIndex>> Open(
+      const std::string& path_prefix, const DiskIndexOptions& options = {});
+
+  DiskIndex(const DiskIndex&) = delete;
+  DiskIndex& operator=(const DiskIndex&) = delete;
+
+  /// Dictionary lookup; nullptr if the keyword does not occur.
+  const TermInfo* FindTerm(std::string_view keyword) const;
+
+  /// Right match rm(v, S): smallest id in the term's list that is >= v.
+  /// Returns false (and leaves `out` untouched) when there is none.
+  Result<bool> RightMatch(uint32_t term, const DeweyId& v, DeweyId* out,
+                          QueryStats* stats = nullptr) const;
+
+  /// Left match lm(v, S): greatest id in the term's list that is <= v.
+  Result<bool> LeftMatch(uint32_t term, const DeweyId& v, DeweyId* out,
+                         QueryStats* stats = nullptr) const;
+
+  /// \brief Sequential reader over one keyword list in the scan layout.
+  class PostingCursor {
+   public:
+    /// Decodes the next id; false at end of list. Check status()
+    /// afterwards to distinguish exhaustion from corruption.
+    bool Next(DeweyId* out);
+    const Status& status() const { return status_; }
+
+   private:
+    friend class DiskIndex;
+    PostingCursor(const DiskIndex* index, uint32_t term,
+                  BPlusTree::Cursor cursor)
+        : index_(index), term_(term), cursor_(std::move(cursor)) {}
+
+    bool LoadBlock();
+
+    const DiskIndex* index_;
+    uint32_t term_;
+    BPlusTree::Cursor cursor_;
+    std::string block_;
+    std::optional<DeltaBlockDecoder> decoder_;
+    QueryStats* stats_ = nullptr;
+    Status status_;
+    bool done_ = false;
+  };
+
+  /// Opens a cursor at the head of `term`'s keyword list.
+  Result<PostingCursor> OpenPostings(uint32_t term,
+                                     QueryStats* stats = nullptr) const;
+
+  /// Routes page-read accounting of both pools to `stats` (may be null).
+  void AttachStats(QueryStats* stats);
+
+  /// Evicts everything from both buffer pools (cold-cache experiments).
+  Status DropCaches();
+  /// Loads as much as fits into both pools (hot-cache experiments).
+  Status WarmCaches();
+
+  const DeweyCodec& codec() const { return *codec_; }
+  /// Tokenizer normalization the source index used (persisted in the
+  /// index metadata so reopened indexes normalize queries identically).
+  const TokenizerOptions& tokenizer() const { return tokenizer_; }
+  size_t term_count() const { return dict_.size(); }
+  uint64_t total_postings() const { return total_postings_; }
+  PageId il_page_count() const { return il_store_->page_count(); }
+  PageId scan_page_count() const { return scan_store_->page_count(); }
+  BufferPool* il_pool() const { return il_pool_.get(); }
+  BufferPool* scan_pool() const { return scan_pool_.get(); }
+
+ private:
+  friend class DiskIndexUpdater;  // shares the composite-key encoding
+
+  DiskIndex() = default;
+
+  static void EncodeIlKey(const DeweyCodec& codec, uint32_t term,
+                          const DeweyId& id, std::string* out);
+  Status InitTreesAndDict(const DiskIndexOptions& options);
+
+  std::unique_ptr<PageStore> il_store_;
+  std::unique_ptr<PageStore> scan_store_;
+  std::unique_ptr<PageStore> dict_store_;
+  std::unique_ptr<BufferPool> il_pool_;
+  std::unique_ptr<BufferPool> scan_pool_;
+  std::optional<BPlusTree> il_tree_;
+  std::optional<BPlusTree> scan_tree_;
+  std::optional<DeweyCodec> codec_;
+  std::unordered_map<std::string, TermInfo> dict_;
+  uint64_t total_postings_ = 0;
+  TokenizerOptions tokenizer_;
+};
+
+/// \brief Incremental maintenance of a file-backed index: add or remove
+/// individual postings without rebuilding.
+///
+/// Uses the mutable B+tree on both layouts: Indexed Lookup entries are
+/// plain key inserts/deletes, and scan-layout blocks — keyed by their
+/// first Dewey id — are located with a floor search, edited, re-keyed
+/// when their first id changes, and split when they outgrow the block
+/// budget. The dictionary (with any newly assigned term ids) is
+/// rewritten at Finish().
+///
+/// Constraint inherited from the paper's Section 4 compression: a new
+/// posting's Dewey id must fit the level table computed at build time
+/// (each level has one spare bit of headroom). Ids outside it are
+/// rejected with InvalidArgument — rebuilding with a wider table is the
+/// remedy, never a silent lossy encoding.
+///
+/// Open the index with DiskIndex::Open / DiskSearcher only after
+/// Finish(); the updater holds the files exclusively.
+class DiskIndexUpdater {
+ public:
+  static Result<std::unique_ptr<DiskIndexUpdater>> Open(
+      const std::string& path_prefix, const DiskIndexOptions& options = {});
+
+  DiskIndexUpdater(const DiskIndexUpdater&) = delete;
+  DiskIndexUpdater& operator=(const DiskIndexUpdater&) = delete;
+
+  /// Adds one (keyword, node) posting; idempotent (re-adding an existing
+  /// posting is a no-op). New keywords get fresh term ids.
+  Status AddPosting(std::string_view keyword, const DeweyId& id);
+
+  /// Removes one posting; NotFound if it is not in the index.
+  Status RemovePosting(std::string_view keyword, const DeweyId& id);
+
+  /// Flushes both trees and rewrites the dictionary. The updater must
+  /// not be used afterwards.
+  Status Finish();
+
+  uint64_t total_postings() const { return total_postings_; }
+  uint64_t Frequency(std::string_view keyword) const;
+
+ private:
+  DiskIndexUpdater() = default;
+
+  Status InsertIntoBlock(uint32_t term, const DeweyId& id);
+  Status RemoveFromBlock(uint32_t term, const DeweyId& id);
+  Status WriteBlock(const std::string& key, const std::vector<DeweyId>& ids);
+
+  std::string path_prefix_;
+  DiskIndexOptions options_;
+  std::unique_ptr<PageStore> il_store_;
+  std::unique_ptr<PageStore> scan_store_;
+  std::unique_ptr<BufferPool> il_pool_;
+  std::unique_ptr<BufferPool> scan_pool_;
+  std::unique_ptr<BPlusTreeMut> il_tree_;
+  std::unique_ptr<BPlusTreeMut> scan_tree_;
+  std::optional<DeweyCodec> codec_;
+  bool delta_compress_ = true;
+  bool compress_dewey_ = true;
+  TokenizerOptions tokenizer_;
+  std::unordered_map<std::string, DiskIndex::TermInfo> dict_;
+  uint32_t next_term_id_ = 0;
+  uint64_t total_postings_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_STORAGE_DISK_INDEX_H_

@@ -1,0 +1,59 @@
+#ifndef XKSEARCH_STORAGE_PAGE_H_
+#define XKSEARCH_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace xksearch {
+
+/// Fixed page size for all disk structures. 4 KiB matches the filesystem
+/// block size the paper's Berkeley DB deployment used.
+inline constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
+
+/// \brief A page-sized byte buffer with little-endian scalar accessors.
+struct Page {
+  std::array<uint8_t, kPageSize> data;
+
+  void Zero() { data.fill(0); }
+
+  uint8_t ReadU8(size_t off) const { return data[off]; }
+  void WriteU8(size_t off, uint8_t v) { data[off] = v; }
+
+  uint16_t ReadU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, data.data() + off, sizeof(v));
+    return v;
+  }
+  void WriteU16(size_t off, uint16_t v) {
+    std::memcpy(data.data() + off, &v, sizeof(v));
+  }
+
+  uint32_t ReadU32(size_t off) const {
+    uint32_t v;
+    std::memcpy(&v, data.data() + off, sizeof(v));
+    return v;
+  }
+  void WriteU32(size_t off, uint32_t v) {
+    std::memcpy(data.data() + off, &v, sizeof(v));
+  }
+
+  uint64_t ReadU64(size_t off) const {
+    uint64_t v;
+    std::memcpy(&v, data.data() + off, sizeof(v));
+    return v;
+  }
+  void WriteU64(size_t off, uint64_t v) {
+    std::memcpy(data.data() + off, &v, sizeof(v));
+  }
+
+  const uint8_t* bytes(size_t off) const { return data.data() + off; }
+  uint8_t* bytes(size_t off) { return data.data() + off; }
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_STORAGE_PAGE_H_

@@ -1,0 +1,115 @@
+#include "storage/pager.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace xksearch {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) return Errno("cannot create", path);
+  return std::unique_ptr<FilePageStore>(new FilePageStore(path, f, 0));
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return Errno("cannot open", path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Errno("cannot seek", path);
+  }
+  const long size = std::ftell(f);
+  if (size < 0 || size % static_cast<long>(kPageSize) != 0) {
+    std::fclose(f);
+    return Status::Corruption("file size not a multiple of page size: " + path);
+  }
+  return std::unique_ptr<FilePageStore>(new FilePageStore(
+      path, f, static_cast<PageId>(size / static_cast<long>(kPageSize))));
+}
+
+FilePageStore::~FilePageStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FilePageStore::ReadPage(PageId id, Page* out) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " out of range");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Errno("seek failed in", path_);
+  }
+  if (std::fread(out->data.data(), 1, kPageSize, file_) != kPageSize) {
+    return Errno("short read in", path_);
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::WritePage(PageId id, const Page& page) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " out of range");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Errno("seek failed in", path_);
+  }
+  if (std::fwrite(page.data.data(), 1, kPageSize, file_) != kPageSize) {
+    return Errno("short write in", path_);
+  }
+  return Status::OK();
+}
+
+Result<PageId> FilePageStore::AllocatePage() {
+  static const Page kZeroPage = [] {
+    Page p;
+    p.Zero();
+    return p;
+  }();
+  const PageId id = page_count_;
+  ++page_count_;
+  Status st = WritePage(id, kZeroPage);
+  if (!st.ok()) {
+    --page_count_;
+    return st;
+  }
+  return id;
+}
+
+Status FilePageStore::Sync() {
+  if (std::fflush(file_) != 0) return Errno("flush failed in", path_);
+  return Status::OK();
+}
+
+Status MemPageStore::ReadPage(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(id) + " out of range");
+  }
+  *out = *pages_[id];
+  return Status::OK();
+}
+
+Status MemPageStore::WritePage(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(id) + " out of range");
+  }
+  *pages_[id] = page;
+  return Status::OK();
+}
+
+Result<PageId> MemPageStore::AllocatePage() {
+  pages_.push_back(std::make_unique<Page>());
+  pages_.back()->Zero();
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+}  // namespace xksearch

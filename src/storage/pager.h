@@ -1,0 +1,76 @@
+#ifndef XKSEARCH_STORAGE_PAGER_H_
+#define XKSEARCH_STORAGE_PAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace xksearch {
+
+/// \brief Abstract store of fixed-size pages; the raw-device layer under
+/// the buffer pool.
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  virtual Status ReadPage(PageId id, Page* out) = 0;
+  virtual Status WritePage(PageId id, const Page& page) = 0;
+  /// Appends a zeroed page, returning its id.
+  virtual Result<PageId> AllocatePage() = 0;
+  virtual PageId page_count() const = 0;
+  virtual Status Sync() = 0;
+};
+
+/// \brief File-backed page store.
+class FilePageStore : public PageStore {
+ public:
+  /// Opens (mode "open") or creates/truncates (mode "create") `path`.
+  static Result<std::unique_ptr<FilePageStore>> Create(const std::string& path);
+  static Result<std::unique_ptr<FilePageStore>> Open(const std::string& path);
+
+  ~FilePageStore() override;
+
+  FilePageStore(const FilePageStore&) = delete;
+  FilePageStore& operator=(const FilePageStore&) = delete;
+
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Result<PageId> AllocatePage() override;
+  PageId page_count() const override { return page_count_; }
+  Status Sync() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FilePageStore(std::string path, std::FILE* file, PageId page_count)
+      : path_(std::move(path)), file_(file), page_count_(page_count) {}
+
+  std::string path_;
+  std::FILE* file_;
+  PageId page_count_;
+};
+
+/// \brief In-memory page store for tests and fully-cached ("hot") setups.
+class MemPageStore : public PageStore {
+ public:
+  MemPageStore() = default;
+
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Result<PageId> AllocatePage() override;
+  PageId page_count() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_STORAGE_PAGER_H_

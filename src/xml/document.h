@@ -1,0 +1,123 @@
+#ifndef XKSEARCH_XML_DOCUMENT_H_
+#define XKSEARCH_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "dewey/dewey_id.h"
+
+namespace xksearch {
+
+/// Index of a node inside a Document's arena.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+enum class NodeKind : uint8_t {
+  kElement = 0,
+  kText = 1,
+};
+
+/// \brief An XML document as the labeled ordered tree of the paper.
+///
+/// Nodes live in a contiguous arena; element tags are interned. A node's
+/// Dewey number is not materialized per node — it is reconstructed on
+/// demand from parent links and sibling ordinals, which keeps a
+/// DBLP-scale document compact. Node 0 is always the document element
+/// (Dewey number "0").
+class Document {
+ public:
+  Document() = default;
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  /// Creates the root element. Must be the first node created.
+  NodeId CreateRoot(std::string_view tag);
+
+  /// Appends a child element under `parent`.
+  NodeId AppendElement(NodeId parent, std::string_view tag);
+
+  /// Appends a text node under `parent`.
+  NodeId AppendText(NodeId parent, std::string_view text);
+
+  /// Adds an attribute to an element.
+  void AddAttribute(NodeId element, std::string_view name,
+                    std::string_view value);
+
+  size_t node_count() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  NodeId root() const { return 0; }
+
+  NodeKind kind(NodeId n) const { return nodes_[n].kind; }
+  bool IsElement(NodeId n) const { return kind(n) == NodeKind::kElement; }
+  bool IsText(NodeId n) const { return kind(n) == NodeKind::kText; }
+
+  /// Tag of an element node.
+  std::string_view tag(NodeId n) const { return tag_names_[nodes_[n].payload]; }
+  /// Content of a text node.
+  std::string_view text(NodeId n) const { return texts_[nodes_[n].payload]; }
+
+  NodeId parent(NodeId n) const { return nodes_[n].parent; }
+  /// Ordinal of the node among its siblings (= last Dewey component).
+  uint32_t ordinal(NodeId n) const { return nodes_[n].ordinal; }
+  const std::vector<NodeId>& children(NodeId n) const {
+    return nodes_[n].children;
+  }
+  size_t child_count(NodeId n) const { return nodes_[n].children.size(); }
+  uint32_t level(NodeId n) const { return nodes_[n].level; }
+
+  const std::vector<std::pair<std::string, std::string>>& attributes(
+      NodeId n) const {
+    return attrs_.count(n) ? attrs_.at(n) : kNoAttrs;
+  }
+
+  /// Reconstructs the Dewey number of `n` from parent links; O(depth).
+  DeweyId DeweyOf(NodeId n) const;
+
+  /// Locates the node with Dewey number `id`; kNotFound if no such node.
+  Result<NodeId> FindByDewey(const DeweyId& id) const;
+
+  /// Maximum node depth (root = level 0); 0 for an empty document.
+  uint32_t max_depth() const { return max_level_; }
+
+  /// Concatenation of all text directly under element `n` (not recursive),
+  /// with pieces separated by single spaces.
+  std::string DirectText(NodeId n) const;
+
+  /// Number of distinct element tags.
+  size_t tag_count() const { return tag_names_.size(); }
+
+ private:
+  struct Node {
+    NodeKind kind;
+    uint32_t level;
+    uint32_t ordinal;
+    uint32_t payload;  // index into tag_names_ (element) or texts_ (text)
+    NodeId parent;
+    std::vector<NodeId> children;
+  };
+
+  uint32_t InternTag(std::string_view tag);
+  NodeId AppendNode(NodeId parent, NodeKind kind, uint32_t payload);
+
+  static const std::vector<std::pair<std::string, std::string>> kNoAttrs;
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> tag_names_;
+  std::unordered_map<std::string, uint32_t> tag_ids_;
+  std::vector<std::string> texts_;
+  std::unordered_map<NodeId, std::vector<std::pair<std::string, std::string>>>
+      attrs_;
+  uint32_t max_level_ = 0;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_XML_DOCUMENT_H_

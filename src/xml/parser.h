@@ -1,0 +1,47 @@
+#ifndef XKSEARCH_XML_PARSER_H_
+#define XKSEARCH_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace xksearch {
+
+/// \brief Options controlling XML parsing.
+struct ParserOptions {
+  /// Keep text nodes that consist only of whitespace. Off by default:
+  /// indentation between elements is layout, not data, and the paper's
+  /// tree model has no whitespace nodes.
+  bool keep_whitespace_text = false;
+  /// Reject documents nested deeper than this many levels (stack guard).
+  uint32_t max_depth = 512;
+};
+
+/// \brief Parses a complete XML document from `input`.
+///
+/// Supports the subset an index builder needs: elements, attributes,
+/// character data with the five predefined entities and numeric character
+/// references, CDATA sections, comments, processing instructions, an XML
+/// declaration, and a DOCTYPE declaration (skipped, including an internal
+/// subset). Namespaces are treated lexically (prefix kept in the tag).
+/// Errors carry 1-based line:column positions.
+Result<Document> ParseXml(std::string_view input,
+                          const ParserOptions& options = {});
+
+/// \brief Reads and parses an XML file.
+Result<Document> ParseXmlFile(const std::string& path,
+                              const ParserOptions& options = {});
+
+/// \brief Serializes `doc` back to XML text (escaped, no added whitespace
+/// unless `indent` is true). Inverse of ParseXml up to insignificant
+/// whitespace and entity normalization.
+std::string SerializeXml(const Document& doc, bool indent = false);
+
+/// Escapes &, <, >, ", ' for use in character data or attribute values.
+std::string EscapeXml(std::string_view text);
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_XML_PARSER_H_

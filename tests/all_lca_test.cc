@@ -1,0 +1,180 @@
+#include "slca/all_lca.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/random_tree.h"
+#include "gen/school.h"
+#include "gtest/gtest.h"
+#include "index/inverted_index.h"
+#include "slca/brute_force.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+using testing_util::Id;
+using testing_util::Ids;
+using testing_util::Strings;
+
+std::vector<DeweyId> RunAllLca(const std::vector<std::vector<DeweyId>>& lists,
+                               QueryStats* stats = nullptr) {
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  std::vector<std::unique_ptr<KeywordList>> owned;
+  std::vector<KeywordList*> ptrs;
+  for (const auto& list : lists) {
+    owned.push_back(std::make_unique<VectorKeywordList>(&list, stats));
+    ptrs.push_back(owned.back().get());
+  }
+  Result<std::vector<DeweyId>> got = ComputeAllLcaList(ptrs, {}, stats);
+  EXPECT_TRUE(got.ok()) << got.status().ToString();
+  return got.ok() ? got.ValueOrDie() : std::vector<DeweyId>{};
+}
+
+TEST(AllLcaTest, SlcasAreAlwaysIncluded) {
+  const auto s1 = Ids({"0.1.0", "0.2.0"});
+  const auto s2 = Ids({"0.1.1", "0.2.1"});
+  const std::vector<DeweyId> got = RunAllLca({s1, s2});
+  // SLCAs 0.1 and 0.2; the root is also an LCA (e.g. lca(0.1.0, 0.2.1)).
+  EXPECT_EQ(Strings(got), (std::vector<std::string>{"0", "0.1", "0.2"}));
+}
+
+TEST(AllLcaTest, MatchesBruteForceOnHandCases) {
+  struct Case {
+    std::vector<std::vector<DeweyId>> lists;
+  };
+  const std::vector<Case> cases = {
+      {{Ids({"0.0.1", "0.2"}), Ids({"0.0.2", "0.3"})}},
+      {{Ids({"0.1"}), Ids({"0.1.3.2"})}},
+      {{Ids({"0.0.0.1", "0.0.5"}), Ids({"0.0.0.2", "0.0.6"})}},
+      {{Ids({"0.1.1"}), Ids({"0.1.1"})}},
+      {{Ids({"0.5"}), Ids({"0.5"}), Ids({"0.5"})}},
+      {{Ids({"0.1", "0.2", "0.3"}), Ids({"0.2.5"})}},
+  };
+  for (size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(Strings(RunAllLca(cases[i].lists)),
+              Strings(BruteForceAllLca(cases[i].lists)))
+        << "case " << i;
+  }
+}
+
+TEST(AllLcaTest, EmptyListYieldsNothing) {
+  EXPECT_TRUE(RunAllLca({Ids({"0.1"}), {}}).empty());
+}
+
+TEST(AllLcaTest, SingleKeywordListIsItsOwnLcaSet) {
+  // For k=1 every instance is the LCA of its own singleton combination.
+  const auto s1 = Ids({"0.1", "0.1.2", "0.3"});
+  EXPECT_EQ(Strings(RunAllLca({s1})),
+            (std::vector<std::string>{"0.1", "0.1.2", "0.3"}));
+}
+
+TEST(AllLcaTest, SchoolExampleIncludesSharedAncestors) {
+  Document doc = BuildSchoolDocument();
+  InvertedIndex index = InvertedIndex::Build(doc);
+  const std::vector<std::vector<DeweyId>> lists = {*index.Find("john"),
+                                                   *index.Find("ben")};
+  Result<std::vector<DeweyId>> expected =
+      OracleAllLca(doc, index, {"john", "ben"});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(Strings(RunAllLca(lists)), Strings(*expected));
+  // LCAs strictly contain the SLCAs here (root, classes, ... qualify).
+  Result<std::vector<DeweyId>> slcas = OracleSlca(doc, index, {"john", "ben"});
+  ASSERT_TRUE(slcas.ok());
+  EXPECT_GT(expected->size(), slcas->size());
+}
+
+TEST(AllLcaTest, CheckLcaProbesDirectly) {
+  // w=0, u=0.1; keyword witness at 0.0 (left part) makes w an LCA.
+  QueryStats stats;
+  const auto left = Ids({"0.0"});
+  VectorKeywordList l(&left, &stats);
+  std::vector<KeywordList*> lists = {&l};
+  Result<bool> is_lca = CheckLca(Id("0"), Id("0.1"), lists, &stats);
+  ASSERT_TRUE(is_lca.ok());
+  EXPECT_TRUE(*is_lca);
+
+  // Witness only inside subtree(u): proves nothing.
+  const auto inside = Ids({"0.1.5"});
+  VectorKeywordList li(&inside, &stats);
+  lists = {&li};
+  is_lca = CheckLca(Id("0"), Id("0.1"), lists, &stats);
+  ASSERT_TRUE(is_lca.ok());
+  EXPECT_FALSE(*is_lca);
+
+  // Witness right of subtree(u): uncle probe finds it.
+  const auto right = Ids({"0.1.5", "0.4"});
+  VectorKeywordList lr(&right, &stats);
+  lists = {&lr};
+  is_lca = CheckLca(Id("0"), Id("0.1"), lists, &stats);
+  ASSERT_TRUE(is_lca.ok());
+  EXPECT_TRUE(*is_lca);
+
+  // Witness at w itself.
+  const auto at_w = Ids({"0.2", "0.2.1.1"});
+  VectorKeywordList lw(&at_w, &stats);
+  lists = {&lw};
+  is_lca = CheckLca(Id("0.2"), Id("0.2.1"), lists, &stats);
+  ASSERT_TRUE(is_lca.ok());
+  EXPECT_TRUE(*is_lca);
+}
+
+struct LcaPropertyCase {
+  uint64_t seed;
+  size_t node_count;
+  size_t vocab;
+  size_t query_size;
+};
+
+class AllLcaPropertyTest : public ::testing::TestWithParam<LcaPropertyCase> {};
+
+TEST_P(AllLcaPropertyTest, MatchesTreeOracle) {
+  const LcaPropertyCase& param = GetParam();
+  Rng rng(param.seed);
+  RandomTreeOptions options;
+  options.node_count = param.node_count;
+  options.vocab_size = param.vocab;
+  for (int round = 0; round < 10; ++round) {
+    const Document doc = GenerateRandomDocument(&rng, options);
+    InvertedIndex index = InvertedIndex::Build(doc);
+    const std::vector<std::string> vocab = RandomTreeVocabulary(options);
+    std::vector<std::vector<DeweyId>> lists;
+    for (size_t i = 0; i < param.query_size; ++i) {
+      const std::vector<DeweyId>* list =
+          index.Find(vocab[rng.Uniform(vocab.size())]);
+      lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+    }
+    const std::vector<DeweyId> expected = TreeOracle(doc, lists).AllLca();
+    EXPECT_EQ(Strings(RunAllLca(lists)), Strings(expected))
+        << "seed=" << param.seed << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedSweep, AllLcaPropertyTest,
+    ::testing::Values(LcaPropertyCase{21, 30, 3, 2},
+                      LcaPropertyCase{22, 80, 4, 2},
+                      LcaPropertyCase{23, 80, 2, 3},
+                      LcaPropertyCase{24, 200, 5, 2},
+                      LcaPropertyCase{25, 500, 6, 3},
+                      LcaPropertyCase{26, 500, 3, 4},
+                      LcaPropertyCase{27, 1500, 8, 2}),
+    [](const ::testing::TestParamInfo<LcaPropertyCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST(AllLcaTest, StatsChargeChecksToMatchOps) {
+  const auto s1 = Ids({"0.1.2.3"});
+  const auto s2 = Ids({"0.1.2.4"});
+  QueryStats stats;
+  RunAllLca({s1, s2}, &stats);
+  // Beyond the SLCA computation itself, each ancestor of the single SLCA
+  // (0.1.2) costs up to 2k match ops to check.
+  EXPECT_GT(stats.match_ops, 4u);
+}
+
+}  // namespace
+}  // namespace xksearch

@@ -1,0 +1,310 @@
+#include "storage/bptree_mut.h"
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/bptree.h"
+#include "storage/node_format.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+std::string Value(int i) { return "value-" + std::to_string(i); }
+
+class BPlusTreeMutTest : public ::testing::Test {
+ protected:
+  BPlusTreeMutTest() : pool_(&store_, 512) {}
+
+  BPlusTreeMut MakeTree() {
+    Result<BPlusTreeMut> tree = BPlusTreeMut::Create(&pool_);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return tree.MoveValueUnsafe();
+  }
+
+  // Flushes and re-opens the store with the read-only reader, checking
+  // it sees exactly `expected` via a full cursor scan.
+  void ExpectContents(BPlusTreeMut* tree,
+                      const std::map<std::string, std::string>& expected) {
+    XKS_ASSERT_OK(tree->Flush());
+    Result<BPlusTree> reader = BPlusTree::Open(&pool_);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(reader->entry_count(), expected.size());
+    BPlusTree::Cursor cursor = reader->NewCursor();
+    XKS_ASSERT_OK(cursor.SeekToFirst());
+    auto it = expected.begin();
+    while (cursor.Valid()) {
+      ASSERT_NE(it, expected.end()) << "extra key " << cursor.key();
+      EXPECT_EQ(cursor.key(), it->first);
+      EXPECT_EQ(cursor.value(), it->second);
+      ++it;
+      XKS_ASSERT_OK(cursor.Next());
+    }
+    EXPECT_EQ(it, expected.end());
+    // Backward scan agrees too (prev links stay intact across splits).
+    XKS_ASSERT_OK(cursor.SeekToLast());
+    auto rit = expected.rbegin();
+    while (cursor.Valid()) {
+      ASSERT_NE(rit, expected.rend());
+      EXPECT_EQ(cursor.key(), rit->first);
+      ++rit;
+      XKS_ASSERT_OK(cursor.Prev());
+    }
+    EXPECT_EQ(rit, expected.rend());
+  }
+
+  MemPageStore store_;
+  BufferPool pool_;
+};
+
+TEST_F(BPlusTreeMutTest, EmptyTree) {
+  BPlusTreeMut tree = MakeTree();
+  EXPECT_EQ(tree.entry_count(), 0u);
+  EXPECT_TRUE(tree.Get("x").status().IsNotFound());
+  EXPECT_TRUE(tree.Delete("x").IsNotFound());
+  ExpectContents(&tree, {});
+}
+
+TEST_F(BPlusTreeMutTest, SingleInsertGetDelete) {
+  BPlusTreeMut tree = MakeTree();
+  XKS_ASSERT_OK(tree.Put("alpha", "1"));
+  Result<std::string> v = tree.Get("alpha");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "1");
+  EXPECT_EQ(tree.entry_count(), 1u);
+  XKS_ASSERT_OK(tree.Delete("alpha"));
+  EXPECT_TRUE(tree.Get("alpha").status().IsNotFound());
+  EXPECT_EQ(tree.entry_count(), 0u);
+  ExpectContents(&tree, {});
+}
+
+TEST_F(BPlusTreeMutTest, UpsertOverwrites) {
+  BPlusTreeMut tree = MakeTree();
+  XKS_ASSERT_OK(tree.Put("k", "old"));
+  XKS_ASSERT_OK(tree.Put("k", "new"));
+  EXPECT_EQ(tree.entry_count(), 1u);
+  Result<std::string> v = tree.Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "new");
+}
+
+TEST_F(BPlusTreeMutTest, SequentialInsertsSplitLeaves) {
+  BPlusTreeMut tree = MakeTree();
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 2000; ++i) {
+    XKS_ASSERT_OK(tree.Put(Key(i), Value(i)));
+    expected[Key(i)] = Value(i);
+  }
+  EXPECT_GT(tree.height(), 1u);
+  ExpectContents(&tree, expected);
+}
+
+TEST_F(BPlusTreeMutTest, ReverseOrderInserts) {
+  BPlusTreeMut tree = MakeTree();
+  std::map<std::string, std::string> expected;
+  for (int i = 2000; i-- > 0;) {
+    XKS_ASSERT_OK(tree.Put(Key(i), Value(i)));
+    expected[Key(i)] = Value(i);
+  }
+  ExpectContents(&tree, expected);
+}
+
+TEST_F(BPlusTreeMutTest, RandomInsertsMatchStdMap) {
+  BPlusTreeMut tree = MakeTree();
+  std::map<std::string, std::string> expected;
+  Rng rng(17);
+  for (int op = 0; op < 4000; ++op) {
+    const int k = static_cast<int>(rng.Uniform(1500));
+    XKS_ASSERT_OK(tree.Put(Key(k), Value(op)));
+    expected[Key(k)] = Value(op);
+  }
+  EXPECT_EQ(tree.entry_count(), expected.size());
+  for (const auto& [k, v] : expected) {
+    Result<std::string> got = tree.Get(k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(*got, v);
+  }
+  ExpectContents(&tree, expected);
+}
+
+TEST_F(BPlusTreeMutTest, MixedInsertDeleteMatchesStdMap) {
+  BPlusTreeMut tree = MakeTree();
+  std::map<std::string, std::string> expected;
+  Rng rng(23);
+  for (int op = 0; op < 6000; ++op) {
+    const int k = static_cast<int>(rng.Uniform(800));
+    if (rng.Bernoulli(0.4)) {
+      const Status st = tree.Delete(Key(k));
+      if (expected.erase(Key(k)) > 0) {
+        XKS_EXPECT_OK(st);
+      } else {
+        EXPECT_TRUE(st.IsNotFound());
+      }
+    } else {
+      XKS_ASSERT_OK(tree.Put(Key(k), Value(op)));
+      expected[Key(k)] = Value(op);
+    }
+  }
+  EXPECT_EQ(tree.entry_count(), expected.size());
+  ExpectContents(&tree, expected);
+}
+
+TEST_F(BPlusTreeMutTest, DeleteEverythingThenReuse) {
+  BPlusTreeMut tree = MakeTree();
+  for (int i = 0; i < 500; ++i) XKS_ASSERT_OK(tree.Put(Key(i), Value(i)));
+  for (int i = 0; i < 500; ++i) XKS_ASSERT_OK(tree.Delete(Key(i)));
+  EXPECT_EQ(tree.entry_count(), 0u);
+  ExpectContents(&tree, {});
+  // The tree is usable again after total erasure.
+  XKS_ASSERT_OK(tree.Put("reborn", "yes"));
+  ExpectContents(&tree, {{"reborn", "yes"}});
+}
+
+TEST_F(BPlusTreeMutTest, VariableLengthEntriesAndOversizeRejected) {
+  BPlusTreeMut tree = MakeTree();
+  std::map<std::string, std::string> expected;
+  Rng rng(31);
+  for (int i = 0; i < 300; ++i) {
+    const std::string key(1 + rng.Uniform(80), static_cast<char>('a' + i % 26));
+    const std::string value(rng.Uniform(200), 'v');
+    XKS_ASSERT_OK(tree.Put(key, value));
+    expected[key] = value;
+  }
+  ExpectContents(&tree, expected);
+  EXPECT_TRUE(tree.Put("big", std::string(kPageSize, 'x')).IsInvalidArgument());
+}
+
+TEST_F(BPlusTreeMutTest, OpenBulkLoadedTreeAndMutate) {
+  // Interoperability: bulk load with the builder, mutate here.
+  std::map<std::string, std::string> expected;
+  {
+    BPlusTreeBuilder builder(&store_);
+    for (int i = 0; i < 1000; i += 2) {
+      XKS_ASSERT_OK(builder.Add(Key(i), Value(i)));
+      expected[Key(i)] = Value(i);
+    }
+    XKS_ASSERT_OK(builder.Finish());
+  }
+  Result<BPlusTreeMut> tree = BPlusTreeMut::Open(&pool_);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->entry_count(), expected.size());
+  // Fill in the odd keys and delete a band of even ones.
+  for (int i = 1; i < 1000; i += 2) {
+    XKS_ASSERT_OK(tree->Put(Key(i), Value(i)));
+    expected[Key(i)] = Value(i);
+  }
+  for (int i = 100; i < 200; i += 2) {
+    XKS_ASSERT_OK(tree->Delete(Key(i)));
+    expected.erase(Key(i));
+  }
+  ExpectContents(&*tree, expected);
+}
+
+TEST_F(BPlusTreeMutTest, MetadataPersistsAcrossFlush) {
+  BPlusTreeMut tree = MakeTree();
+  tree.SetMetadata({9, 8, 7});
+  XKS_ASSERT_OK(tree.Put("a", "b"));
+  XKS_ASSERT_OK(tree.Flush());
+  Result<BPlusTreeMut> reopened = BPlusTreeMut::Open(&pool_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->metadata(), (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_EQ(reopened->entry_count(), 1u);
+}
+
+TEST_F(BPlusTreeMutTest, FlushSurvivesPoolDrop) {
+  BPlusTreeMut tree = MakeTree();
+  for (int i = 0; i < 800; ++i) XKS_ASSERT_OK(tree.Put(Key(i), Value(i)));
+  XKS_ASSERT_OK(tree.Flush());
+  // Simulate a restart: drop every cached page, then read back.
+  XKS_ASSERT_OK(pool_.DropAll());
+  Result<BPlusTreeMut> reopened = BPlusTreeMut::Open(&pool_);
+  ASSERT_TRUE(reopened.ok());
+  Result<std::string> v = reopened->Get(Key(555));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value(555));
+}
+
+TEST_F(BPlusTreeMutTest, TinyPoolSpillsDirtyPages) {
+  // A pool smaller than the working set forces dirty evictions mid-run.
+  BufferPool tiny(&store_, 4);
+  Result<BPlusTreeMut> tree = BPlusTreeMut::Create(&tiny);
+  ASSERT_TRUE(tree.ok());
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 1500; ++i) {
+    XKS_ASSERT_OK(tree->Put(Key(i), Value(i)));
+    expected[Key(i)] = Value(i);
+  }
+  XKS_ASSERT_OK(tree->Flush());
+  for (int i = 0; i < 1500; i += 101) {
+    Result<std::string> v = tree->Get(Key(i));
+    ASSERT_TRUE(v.ok()) << Key(i);
+    EXPECT_EQ(*v, Value(i));
+  }
+}
+
+TEST(BPlusTreeMutFileTest, PersistsAcrossProcessStyleReopen) {
+  const std::string path = ::testing::TempDir() + "/bptree_mut_file.db";
+  {
+    Result<std::unique_ptr<FilePageStore>> store = FilePageStore::Create(path);
+    ASSERT_TRUE(store.ok());
+    BufferPool pool(store->get(), 64);
+    Result<BPlusTreeMut> tree = BPlusTreeMut::Create(&pool);
+    ASSERT_TRUE(tree.ok());
+    for (int i = 0; i < 300; ++i) {
+      XKS_ASSERT_OK(tree->Put(Key(i), Value(i)));
+    }
+    XKS_ASSERT_OK(tree->Flush());
+  }
+  {
+    Result<std::unique_ptr<FilePageStore>> store = FilePageStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    BufferPool pool(store->get(), 64);
+    Result<BPlusTree> reader = BPlusTree::Open(&pool);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader->entry_count(), 300u);
+    Result<std::string> v = reader->Get(Key(123));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, Value(123));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ParsedNodeTest, RoundTripThroughPage) {
+  node_format::ParsedNode node;
+  node.leaf = true;
+  node.link_a = 42;
+  node.link_b = 7;
+  node.entries = {{"alpha", "1"}, {"beta", std::string(100, 'x')}, {"c", ""}};
+  Page page;
+  node.WriteTo(&page);
+  Result<node_format::ParsedNode> back =
+      node_format::ParsedNode::ReadFrom(page);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->leaf, node.leaf);
+  EXPECT_EQ(back->link_a, node.link_a);
+  EXPECT_EQ(back->link_b, node.link_b);
+  EXPECT_EQ(back->entries, node.entries);
+  EXPECT_EQ(back->SerializedSize(), node.SerializedSize());
+}
+
+TEST(ParsedNodeTest, InternalChildEncoding) {
+  node_format::ParsedNode node;
+  node.leaf = false;
+  node.link_a = 10;
+  node.entries = {{"m", node_format::ParsedNode::EncodeChild(11)},
+                  {"t", node_format::ParsedNode::EncodeChild(12)}};
+  EXPECT_EQ(node.ChildAt(0), 10u);
+  EXPECT_EQ(node.ChildAt(1), 11u);
+  EXPECT_EQ(node.ChildAt(2), 12u);
+}
+
+}  // namespace
+}  // namespace xksearch

@@ -1,0 +1,231 @@
+#include "storage/buffer_pool.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+// A store that fails reads on demand, for error-path coverage.
+class FlakyStore : public PageStore {
+ public:
+  Status ReadPage(PageId id, Page* out) override {
+    ++reads;
+    if (fail_reads) return Status::IoError("injected failure");
+    return mem.ReadPage(id, out);
+  }
+  Status WritePage(PageId id, const Page& page) override {
+    return mem.WritePage(id, page);
+  }
+  Result<PageId> AllocatePage() override { return mem.AllocatePage(); }
+  PageId page_count() const override { return mem.page_count(); }
+  Status Sync() override { return Status::OK(); }
+
+  MemPageStore mem;
+  int reads = 0;
+  bool fail_reads = false;
+};
+
+Page Stamped(uint8_t v) {
+  Page p;
+  p.Zero();
+  p.WriteU8(0, v);
+  return p;
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (uint8_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(store_.AllocatePage().ok());
+      XKS_ASSERT_OK(store_.WritePage(i, Stamped(i)));
+    }
+  }
+  FlakyStore store_;
+};
+
+TEST_F(BufferPoolTest, MissThenHit) {
+  BufferPool pool(&store_, 4);
+  {
+    Result<PageRef> ref = pool.Fetch(3);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref->page().ReadU8(0), 3);
+  }
+  EXPECT_EQ(pool.total_misses(), 1u);
+  {
+    Result<PageRef> ref = pool.Fetch(3);
+    ASSERT_TRUE(ref.ok());
+  }
+  EXPECT_EQ(pool.total_misses(), 1u);
+  EXPECT_EQ(pool.total_hits(), 1u);
+  EXPECT_EQ(store_.reads, 1);
+}
+
+TEST_F(BufferPoolTest, LruEvictsColdestUnpinned) {
+  BufferPool pool(&store_, 2);
+  { auto r = pool.Fetch(0); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Fetch(1); ASSERT_TRUE(r.ok()); }
+  // Touch 0 so 1 is the LRU victim.
+  { auto r = pool.Fetch(0); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Fetch(2); ASSERT_TRUE(r.ok()); }  // evicts 1
+  EXPECT_EQ(pool.total_misses(), 3u);
+  { auto r = pool.Fetch(0); ASSERT_TRUE(r.ok()); }  // still resident
+  EXPECT_EQ(pool.total_misses(), 3u);
+  { auto r = pool.Fetch(1); ASSERT_TRUE(r.ok()); }  // was evicted
+  EXPECT_EQ(pool.total_misses(), 4u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
+  BufferPool pool(&store_, 2);
+  Result<PageRef> pinned = pool.Fetch(0);
+  ASSERT_TRUE(pinned.ok());
+  { auto r = pool.Fetch(1); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Fetch(2); ASSERT_TRUE(r.ok()); }  // must evict 1, not 0
+  { auto r = pool.Fetch(0); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(pool.total_misses(), 3u);
+  // The pinned page's bytes stayed valid throughout.
+  EXPECT_EQ(pinned->page().ReadU8(0), 0);
+}
+
+TEST_F(BufferPoolTest, AllPinnedExhaustsPool) {
+  BufferPool pool(&store_, 2);
+  Result<PageRef> a = pool.Fetch(0);
+  Result<PageRef> b = pool.Fetch(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Result<PageRef> c = pool.Fetch(2);
+  EXPECT_TRUE(c.status().IsInternal());
+}
+
+TEST_F(BufferPoolTest, StatsAttachedPerQuery) {
+  BufferPool pool(&store_, 4);
+  QueryStats stats;
+  pool.AttachStats(&stats);
+  { auto r = pool.Fetch(0); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Fetch(0); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(stats.page_reads, 1u);
+  EXPECT_EQ(stats.page_hits, 1u);
+  pool.AttachStats(nullptr);
+  { auto r = pool.Fetch(1); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(stats.page_reads, 1u);  // detached
+}
+
+TEST_F(BufferPoolTest, DropAllEmulatesColdCache) {
+  BufferPool pool(&store_, 4);
+  { auto r = pool.Fetch(0); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(pool.resident(), 1u);
+  XKS_ASSERT_OK(pool.DropAll());
+  EXPECT_EQ(pool.resident(), 0u);
+  { auto r = pool.Fetch(0); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(pool.total_misses(), 2u);
+}
+
+TEST_F(BufferPoolTest, DropAllRefusesWhilePinned) {
+  BufferPool pool(&store_, 4);
+  Result<PageRef> pinned = pool.Fetch(0);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_TRUE(pool.DropAll().IsInternal());
+  pinned->Release();
+  XKS_ASSERT_OK(pool.DropAll());
+}
+
+TEST_F(BufferPoolTest, WarmAllPrefetches) {
+  BufferPool pool(&store_, 16);
+  XKS_ASSERT_OK(pool.WarmAll());
+  EXPECT_EQ(pool.resident(), 8u);
+  const uint64_t misses = pool.total_misses();
+  { auto r = pool.Fetch(5); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(pool.total_misses(), misses);  // hot
+}
+
+TEST_F(BufferPoolTest, WarmAllRespectsCapacity) {
+  BufferPool pool(&store_, 3);
+  XKS_ASSERT_OK(pool.WarmAll());
+  EXPECT_LE(pool.resident(), 3u);
+}
+
+TEST_F(BufferPoolTest, ReadFailurePropagates) {
+  BufferPool pool(&store_, 4);
+  store_.fail_reads = true;
+  EXPECT_TRUE(pool.Fetch(0).status().IsIoError());
+  store_.fail_reads = false;
+  EXPECT_TRUE(pool.Fetch(0).ok());
+}
+
+TEST_F(BufferPoolTest, DirtyPagesReachStoreOnFlush) {
+  BufferPool pool(&store_, 4);
+  {
+    Result<MutPageRef> ref = pool.FetchMut(2);
+    ASSERT_TRUE(ref.ok());
+    ref->page().WriteU8(0, 0xEE);
+  }
+  // Not yet in the store...
+  Page raw;
+  XKS_ASSERT_OK(store_.mem.ReadPage(2, &raw));
+  EXPECT_EQ(raw.ReadU8(0), 2);
+  XKS_ASSERT_OK(pool.FlushAll());
+  XKS_ASSERT_OK(store_.mem.ReadPage(2, &raw));
+  EXPECT_EQ(raw.ReadU8(0), 0xEE);
+}
+
+TEST_F(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
+  BufferPool pool(&store_, 2);
+  {
+    Result<MutPageRef> ref = pool.FetchMut(0);
+    ASSERT_TRUE(ref.ok());
+    ref->page().WriteU8(0, 0xAA);
+  }
+  // Two more fetches force page 0 out.
+  { auto r = pool.Fetch(1); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Fetch(2); ASSERT_TRUE(r.ok()); }
+  Page raw;
+  XKS_ASSERT_OK(store_.mem.ReadPage(0, &raw));
+  EXPECT_EQ(raw.ReadU8(0), 0xAA);
+  // Re-reading through the pool sees the written value.
+  Result<PageRef> back = pool.Fetch(0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->page().ReadU8(0), 0xAA);
+}
+
+TEST_F(BufferPoolTest, DropAllFlushesDirtyFrames) {
+  BufferPool pool(&store_, 4);
+  {
+    Result<MutPageRef> ref = pool.FetchMut(5);
+    ASSERT_TRUE(ref.ok());
+    ref->page().WriteU8(0, 0x55);
+  }
+  XKS_ASSERT_OK(pool.DropAll());
+  Page raw;
+  XKS_ASSERT_OK(store_.mem.ReadPage(5, &raw));
+  EXPECT_EQ(raw.ReadU8(0), 0x55);
+}
+
+TEST_F(BufferPoolTest, NewPageAllocatesZeroedAndCached) {
+  BufferPool pool(&store_, 4);
+  PageId fresh;
+  {
+    Result<MutPageRef> ref = pool.NewPage();
+    ASSERT_TRUE(ref.ok());
+    fresh = ref->id();
+    EXPECT_EQ(ref->page().ReadU8(0), 0);
+    ref->page().WriteU8(0, 0x77);
+  }
+  EXPECT_EQ(fresh, 8u);  // after the 8 pre-allocated pages
+  Result<PageRef> back = pool.Fetch(fresh);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->page().ReadU8(0), 0x77);
+}
+
+TEST_F(BufferPoolTest, MoveOnlyPageRefTransfersPin) {
+  BufferPool pool(&store_, 2);
+  Result<PageRef> a = pool.Fetch(0);
+  ASSERT_TRUE(a.ok());
+  PageRef moved = std::move(*a);
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  // Pin released exactly once: the pool can now be dropped.
+  XKS_ASSERT_OK(pool.DropAll());
+}
+
+}  // namespace
+}  // namespace xksearch

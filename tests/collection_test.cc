@@ -1,0 +1,128 @@
+#include "engine/collection.h"
+
+#include <string>
+
+#include "gen/school.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+using testing_util::Strings;
+
+Collection MakeLibrary() {
+  Collection collection;
+  XKS_EXPECT_OK(collection.AddXml(
+      "papers",
+      "<papers><paper><title>keyword search</title><author>xu</author>"
+      "</paper><paper><title>query rewriting</title><author>chen</author>"
+      "</paper></papers>"));
+  XKS_EXPECT_OK(collection.AddXml(
+      "books",
+      "<books><book><title>search engines</title><author>xu</author></book>"
+      "<book><title>keyword indexing</title><author>xu</author></book>"
+      "</books>"));
+  XKS_EXPECT_OK(
+      collection.AddDocument("school", BuildSchoolDocument()));
+  return collection;
+}
+
+TEST(CollectionTest, AddAndEnumerate) {
+  Collection collection = MakeLibrary();
+  EXPECT_EQ(collection.size(), 3u);
+  EXPECT_EQ(collection.Names(),
+            (std::vector<std::string>{"papers", "books", "school"}));
+  EXPECT_NE(collection.Find("books"), nullptr);
+  EXPECT_EQ(collection.Find("missing"), nullptr);
+}
+
+TEST(CollectionTest, DuplicateNameRejected) {
+  Collection collection;
+  XKS_ASSERT_OK(collection.AddXml("a", "<r>x</r>"));
+  EXPECT_TRUE(collection.AddXml("a", "<r>y</r>").IsInvalidArgument());
+}
+
+TEST(CollectionTest, BadXmlRejected) {
+  Collection collection;
+  EXPECT_TRUE(collection.AddXml("bad", "<r>").IsParseError());
+  EXPECT_EQ(collection.size(), 0u);
+}
+
+TEST(CollectionTest, SearchSpansDocumentsButAnswersDoNot) {
+  Collection collection = MakeLibrary();
+  // "xu" appears in papers (1) and books (2); "keyword" in papers and
+  // books. Answers are per-document subtrees.
+  Result<std::vector<Collection::DocumentHit>> hits =
+      collection.Search({"keyword", "xu"});
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_EQ(hits->size(), 2u);
+  for (const auto& hit : *hits) {
+    EXPECT_TRUE(hit.document == "papers" || hit.document == "books");
+    EXPECT_FALSE(hit.result.nodes.empty());
+  }
+}
+
+TEST(CollectionTest, HitsOrderedByAnswerCount) {
+  Collection collection = MakeLibrary();
+  // "xu" alone: books has 2 instances (2 answers), papers 1.
+  Result<std::vector<Collection::DocumentHit>> hits =
+      collection.Search({"xu"});
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0].document, "books");
+  EXPECT_EQ((*hits)[0].result.nodes.size(), 2u);
+  EXPECT_EQ((*hits)[1].document, "papers");
+}
+
+TEST(CollectionTest, DocumentsWithoutAnswersOmitted) {
+  Collection collection = MakeLibrary();
+  Result<std::vector<Collection::DocumentHit>> hits =
+      collection.Search({"john", "ben"});
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].document, "school");
+  EXPECT_EQ((*hits)[0].result.nodes.size(), 3u);
+}
+
+TEST(CollectionTest, NoMatchesAnywhere) {
+  Collection collection = MakeLibrary();
+  Result<std::vector<Collection::DocumentHit>> hits =
+      collection.Search({"zzzz"});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(CollectionTest, FrequencyAggregates) {
+  Collection collection = MakeLibrary();
+  EXPECT_EQ(collection.Frequency("xu"), 3u);
+  EXPECT_EQ(collection.Frequency("john"), 4u);
+  EXPECT_EQ(collection.Frequency("nope"), 0u);
+}
+
+TEST(CollectionTest, OptionsPropagate) {
+  Collection collection = MakeLibrary();
+  SearchOptions stack;
+  stack.algorithm = AlgorithmChoice::kStack;
+  Result<std::vector<Collection::DocumentHit>> hits =
+      collection.Search({"john", "ben"}, stack);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].result.algorithm, SlcaAlgorithm::kStack);
+}
+
+TEST(CollectionTest, SnippetsThroughFind) {
+  Collection collection = MakeLibrary();
+  Result<std::vector<Collection::DocumentHit>> hits =
+      collection.Search({"john", "ben"});
+  ASSERT_TRUE(hits.ok());
+  const XKSearch* school = collection.Find((*hits)[0].document);
+  ASSERT_NE(school, nullptr);
+  Result<std::string> snippet =
+      school->Snippet((*hits)[0].result.nodes[0]);
+  ASSERT_TRUE(snippet.ok());
+  EXPECT_NE(snippet->find("John"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xksearch

@@ -1,0 +1,124 @@
+// The in-memory query path is read-only after build: a const XKSearch
+// can serve concurrent queries from many threads. (The disk path shares
+// a buffer pool and is documented single-threaded; these tests pin down
+// the supported contract.)
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/xksearch.h"
+#include "gen/dblp_generator.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+using testing_util::Strings;
+
+std::unique_ptr<XKSearch> BuildCorpus() {
+  DblpOptions gen;
+  gen.papers = 3000;
+  gen.seed = 99;
+  gen.plants = {{"alpha", 20}, {"bravo", 300}, {"carol", 2500}};
+  Result<Document> doc = GenerateDblp(gen);
+  EXPECT_TRUE(doc.ok());
+  Result<std::unique_ptr<XKSearch>> system =
+      XKSearch::BuildFromDocument(std::move(*doc));
+  EXPECT_TRUE(system.ok());
+  return std::move(*system);
+}
+
+TEST(ConcurrencyTest, ParallelIdenticalQueriesAgree) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  Result<SearchResult> expected = system->Search({"alpha", "carol"});
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int r = 0; r < kRounds; ++r) {
+        Result<SearchResult> got = system->Search({"alpha", "carol"});
+        if (!got.ok()) {
+          ++failures;
+          return;
+        }
+        if (Strings(got->nodes) != Strings(expected->nodes)) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelMixedWorkload) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const std::vector<std::vector<std::string>> queries = {
+      {"alpha", "carol"}, {"bravo", "carol"}, {"alpha", "bravo", "carol"},
+      {"alpha"},          {"carol"},
+  };
+  std::vector<std::vector<std::string>> expected;
+  for (const auto& q : queries) {
+    Result<SearchResult> r = system->Search(q);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(Strings(r->nodes));
+  }
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int r = 0; r < 40; ++r) {
+        const size_t qi = static_cast<size_t>(t + r) % queries.size();
+        SearchOptions options;
+        // Exercise all three algorithms concurrently.
+        options.algorithm = static_cast<AlgorithmChoice>(1 + (t + r) % 3);
+        Result<SearchResult> got = system->Search(queries[qi], options);
+        if (!got.ok() || Strings(got->nodes) != expected[qi]) ++bad;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelSemantics) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  std::vector<std::vector<std::string>> expected(3);
+  for (int s = 0; s < 3; ++s) {
+    SearchOptions options;
+    options.semantics = static_cast<Semantics>(s);
+    Result<SearchResult> r = system->Search({"alpha", "bravo"}, options);
+    ASSERT_TRUE(r.ok());
+    expected[static_cast<size_t>(s)] = Strings(r->nodes);
+  }
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int r = 0; r < 30; ++r) {
+        const int s = (t + r) % 3;
+        SearchOptions options;
+        options.semantics = static_cast<Semantics>(s);
+        Result<SearchResult> got = system->Search({"alpha", "bravo"}, options);
+        if (!got.ok() ||
+            Strings(got->nodes) != expected[static_cast<size_t>(s)]) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace xksearch

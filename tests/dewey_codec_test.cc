@@ -1,0 +1,242 @@
+#include "dewey/codec.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+using testing_util::Id;
+using testing_util::Ids;
+
+int CompareEncodings(const std::vector<uint8_t>& a,
+                     const std::vector<uint8_t>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+TEST(LevelTableTest, ObserveTracksMaxWidths) {
+  LevelTable table;
+  table.Observe(Id("0.3.1"));
+  table.Observe(Id("0.1.7.2"));
+  // Width = bit width of the max component plus one spare bit for probe
+  // saturation: level 0 max 0 -> 1; level 1 max 3 -> 3; level 2 max 7 ->
+  // 4; level 3 max 2 -> 3.
+  EXPECT_EQ(table.BitsAt(0), 1);
+  EXPECT_EQ(table.BitsAt(1), 3);
+  EXPECT_EQ(table.BitsAt(2), 4);
+  EXPECT_EQ(table.BitsAt(3), 3);
+  // Beyond observed depth: safe fallback of 32 bits.
+  EXPECT_EQ(table.BitsAt(9), 32);
+  EXPECT_EQ(table.TotalBits(), 11u);
+}
+
+TEST(LevelTableTest, SerializationRoundTrip) {
+  LevelTable table;
+  table.Observe(Id("0.100.5.1"));
+  std::vector<uint8_t> buf;
+  table.EncodeTo(&buf);
+  size_t pos = 0;
+  Result<LevelTable> decoded = LevelTable::DecodeFrom(buf.data(), buf.size(), &pos);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->bits(), table.bits());
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(LevelTableTest, DecodeRejectsCorruption) {
+  std::vector<uint8_t> buf = {3, 1, 2};  // claims 3 entries, has 2
+  size_t pos = 0;
+  EXPECT_TRUE(
+      LevelTable::DecodeFrom(buf.data(), buf.size(), &pos).status().IsCorruption());
+  std::vector<uint8_t> wide = {1, 40};  // width 40 > 32
+  pos = 0;
+  EXPECT_TRUE(LevelTable::DecodeFrom(wide.data(), wide.size(), &pos)
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(DeweyCodecTest, EncodeDecodeRoundTrip) {
+  LevelTable table;
+  const auto ids = Ids({"0", "0.5", "0.5.3", "0.2.7.1", "0.0.0.0.0"});
+  for (const DeweyId& id : ids) table.Observe(id);
+  DeweyCodec codec(table);
+  for (const DeweyId& id : ids) {
+    Result<DeweyId> decoded = codec.Decode(codec.Encode(id));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, id) << id.ToString();
+  }
+}
+
+TEST(DeweyCodecTest, UncompressedCodecAlsoRoundTrips) {
+  DeweyCodec codec((LevelTable()));  // all levels 32 bits
+  for (const DeweyId& id : Ids({"0", "0.4000000000", "0.1.2.3.4.5"})) {
+    Result<DeweyId> decoded = codec.Decode(codec.Encode(id));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, id);
+  }
+}
+
+TEST(DeweyCodecTest, CompressionBeatsFixedWidth) {
+  LevelTable table;
+  std::vector<DeweyId> ids;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(DeweyId({0, static_cast<uint32_t>(rng.Uniform(8)),
+                           static_cast<uint32_t>(rng.Uniform(4)),
+                           static_cast<uint32_t>(rng.Uniform(16))}));
+    table.Observe(ids.back());
+  }
+  DeweyCodec compressed(table);
+  DeweyCodec fixed((LevelTable()));
+  size_t c = 0, f = 0;
+  for (const DeweyId& id : ids) {
+    c += compressed.Encode(id).size();
+    f += fixed.Encode(id).size();
+  }
+  EXPECT_LT(c, f / 3);  // the level table should save a lot here
+}
+
+TEST(DeweyCodecTest, DecodeRejectsTruncation) {
+  LevelTable table;
+  table.Observe(Id("0.1000.1000"));
+  DeweyCodec codec(table);
+  std::vector<uint8_t> enc = codec.Encode(Id("0.900.900"));
+  enc.pop_back();
+  EXPECT_TRUE(codec.Decode(enc).status().IsCorruption());
+}
+
+// Property: the encoding preserves document order byte-lexicographically.
+// This is what lets the Indexed Lookup B+tree use plain byte keys.
+TEST(DeweyCodecTest, OrderPreservationRandomized) {
+  Rng rng(77);
+  LevelTable table;
+  std::vector<DeweyId> ids;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint32_t> comps = {0};
+    const size_t depth = 1 + rng.Uniform(5);
+    for (size_t d = 0; d < depth; ++d) {
+      comps.push_back(static_cast<uint32_t>(rng.Uniform(30)));
+    }
+    ids.emplace_back(std::move(comps));
+    table.Observe(ids.back());
+  }
+  DeweyCodec codec(table);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      const int id_order = ids[i].Compare(ids[j]);
+      const int enc_order =
+          CompareEncodings(codec.Encode(ids[i]), codec.Encode(ids[j]));
+      EXPECT_EQ(id_order < 0, enc_order < 0)
+          << ids[i].ToString() << " vs " << ids[j].ToString();
+      EXPECT_EQ(id_order == 0, enc_order == 0);
+    }
+  }
+}
+
+// Probe ids with components beyond the observed maxima (Section 5 uncle
+// probes, arbitrary rm targets) must still compare correctly against
+// every stored id after encoding, thanks to saturation + the spare bit.
+TEST(DeweyCodecTest, OversizedProbeComponentsKeepOrder) {
+  LevelTable table;
+  const auto stored = Ids({"0.0.1", "0.1.2", "0.3.0.1", "0.7"});
+  for (const DeweyId& id : stored) table.Observe(id);
+  DeweyCodec codec(table);
+  const auto probes = Ids({"0.9", "0.8.100", "0.3.0.2", "0.3.1", "0.100.4",
+                           "0.7.999", "0.0.500"});
+  for (const DeweyId& probe : probes) {
+    const std::vector<uint8_t> ep = codec.Encode(probe);
+    for (const DeweyId& id : stored) {
+      const int want = probe.Compare(id);
+      const int got = CompareEncodings(ep, codec.Encode(id));
+      EXPECT_EQ(want < 0, got < 0)
+          << probe.ToString() << " vs " << id.ToString();
+      EXPECT_EQ(want > 0, got > 0)
+          << probe.ToString() << " vs " << id.ToString();
+    }
+  }
+}
+
+TEST(DeltaBlockTest, RoundTripSortedRun) {
+  const auto ids =
+      Ids({"0.0.1", "0.0.2", "0.0.2.5", "0.1", "0.1.0.0", "0.7.3"});
+  DeltaBlockEncoder enc;
+  for (const DeweyId& id : ids) enc.Append(id);
+  EXPECT_EQ(enc.count(), ids.size());
+  const std::vector<uint8_t> block = enc.Finish();
+
+  DeltaBlockDecoder dec(block);
+  std::vector<DeweyId> decoded;
+  DeweyId id;
+  while (dec.Next(&id)) decoded.push_back(id);
+  ASSERT_TRUE(dec.status().ok()) << dec.status().ToString();
+  EXPECT_EQ(decoded, ids);
+}
+
+TEST(DeltaBlockTest, DuplicatesAllowed) {
+  DeltaBlockEncoder enc;
+  enc.Append(Id("0.1"));
+  enc.Append(Id("0.1"));
+  const std::vector<uint8_t> block = enc.Finish();
+  DeltaBlockDecoder dec(block);
+  DeweyId id;
+  EXPECT_TRUE(dec.Next(&id));
+  EXPECT_TRUE(dec.Next(&id));
+  EXPECT_EQ(id, Id("0.1"));
+  EXPECT_FALSE(dec.Next(&id));
+}
+
+TEST(DeltaBlockTest, NonDeltaModeStoresFullIds) {
+  const auto ids = Ids({"0.1.2.3.4", "0.1.2.3.5", "0.1.2.3.6"});
+  DeltaBlockEncoder with_delta(true);
+  DeltaBlockEncoder without_delta(false);
+  for (const DeweyId& id : ids) {
+    with_delta.Append(id);
+    without_delta.Append(id);
+  }
+  EXPECT_LT(with_delta.SizeBytes(), without_delta.SizeBytes());
+  // Both decode identically.
+  const std::vector<uint8_t> block = without_delta.Finish();
+  DeltaBlockDecoder dec(block);
+  std::vector<DeweyId> decoded;
+  DeweyId id;
+  while (dec.Next(&id)) decoded.push_back(id);
+  EXPECT_EQ(decoded, ids);
+}
+
+TEST(DeltaBlockTest, DecoderReportsCorruption) {
+  DeltaBlockEncoder enc;
+  enc.Append(Id("0.1.2"));
+  enc.Append(Id("0.1.3"));
+  std::vector<uint8_t> block = enc.Finish();
+  block.resize(block.size() - 1);
+  DeltaBlockDecoder dec(block);
+  DeweyId id;
+  EXPECT_TRUE(dec.Next(&id));
+  EXPECT_FALSE(dec.Next(&id));
+  EXPECT_TRUE(dec.status().IsCorruption());
+}
+
+TEST(DeltaBlockTest, FinishResetsEncoder) {
+  DeltaBlockEncoder enc;
+  enc.Append(Id("0.9"));
+  enc.Finish();
+  // After Finish a smaller id is fine; the encoder starts a new block.
+  enc.Append(Id("0.1"));
+  const std::vector<uint8_t> block = enc.Finish();
+  DeltaBlockDecoder dec(block);
+  DeweyId id;
+  ASSERT_TRUE(dec.Next(&id));
+  EXPECT_EQ(id, Id("0.1"));
+}
+
+}  // namespace
+}  // namespace xksearch

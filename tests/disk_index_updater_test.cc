@@ -1,0 +1,218 @@
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "engine/disk_searcher.h"
+#include "gen/school.h"
+#include "gtest/gtest.h"
+#include "index/inverted_index.h"
+#include "slca/brute_force.h"
+#include "storage/disk_index.h"
+#include "test_util.h"
+#include "xml/parser.h"
+
+namespace xksearch {
+namespace {
+
+using testing_util::Id;
+using testing_util::Strings;
+
+class DiskIndexUpdaterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/updater_idx";
+    // Base index: two keywords over a small tree.
+    source_.AddPosting("apple", Id("0.0.1"));
+    source_.AddPosting("apple", Id("0.2.0"));
+    source_.AddPosting("banana", Id("0.1"));
+    source_.AddPosting("banana", Id("0.2.1"));
+    // Widen the level table so updates have room (CanEncode headroom).
+    source_.AddPosting("zzfiller", Id("0.7.7.7"));
+    Result<std::unique_ptr<DiskIndex>> built =
+        DiskIndex::Build(source_, prefix_);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+  }
+
+  void TearDown() override {
+    for (const char* suffix : {".il", ".scan", ".dict"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+
+  // Reads back one keyword list via a freshly opened index.
+  std::vector<DeweyId> Postings(const std::string& keyword) {
+    Result<std::unique_ptr<DiskIndex>> index = DiskIndex::Open(prefix_);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    std::vector<DeweyId> out;
+    const DiskIndex::TermInfo* info = (*index)->FindTerm(keyword);
+    if (info == nullptr) return out;
+    Result<DiskIndex::PostingCursor> cursor = (*index)->OpenPostings(info->id);
+    EXPECT_TRUE(cursor.ok());
+    DeweyId id;
+    while (cursor->Next(&id)) out.push_back(id);
+    XKS_EXPECT_OK(cursor->status());
+    // The Indexed Lookup layout must agree with the scan layout.
+    DeweyId got;
+    DeweyId probe({0});
+    Result<bool> rm = (*index)->RightMatch(info->id, probe, &got);
+    EXPECT_TRUE(rm.ok());
+    if (!out.empty()) {
+      EXPECT_TRUE(*rm);
+      EXPECT_EQ(got, out.front());
+    }
+    return out;
+  }
+
+  std::string prefix_;
+  InvertedIndex source_;
+};
+
+TEST_F(DiskIndexUpdaterTest, AddPostingAppears) {
+  {
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(prefix_);
+    ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+    XKS_ASSERT_OK((*updater)->AddPosting("apple", Id("0.1.5")));
+    EXPECT_EQ((*updater)->Frequency("apple"), 3u);
+    XKS_ASSERT_OK((*updater)->Finish());
+  }
+  EXPECT_EQ(Strings(Postings("apple")),
+            (std::vector<std::string>{"0.0.1", "0.1.5", "0.2.0"}));
+}
+
+TEST_F(DiskIndexUpdaterTest, AddIsIdempotent) {
+  Result<std::unique_ptr<DiskIndexUpdater>> updater =
+      DiskIndexUpdater::Open(prefix_);
+  ASSERT_TRUE(updater.ok());
+  XKS_ASSERT_OK((*updater)->AddPosting("apple", Id("0.0.1")));  // existing
+  EXPECT_EQ((*updater)->Frequency("apple"), 2u);
+  XKS_ASSERT_OK((*updater)->AddPosting("apple", Id("0.3")));
+  XKS_ASSERT_OK((*updater)->AddPosting("apple", Id("0.3")));  // repeat
+  EXPECT_EQ((*updater)->Frequency("apple"), 3u);
+  XKS_ASSERT_OK((*updater)->Finish());
+  EXPECT_EQ(Postings("apple").size(), 3u);
+}
+
+TEST_F(DiskIndexUpdaterTest, NewKeywordGetsFreshTerm) {
+  {
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(prefix_);
+    ASSERT_TRUE(updater.ok());
+    XKS_ASSERT_OK((*updater)->AddPosting("cherry", Id("0.4")));
+    XKS_ASSERT_OK((*updater)->AddPosting("cherry", Id("0.0.3")));
+    XKS_ASSERT_OK((*updater)->Finish());
+  }
+  EXPECT_EQ(Strings(Postings("cherry")),
+            (std::vector<std::string>{"0.0.3", "0.4"}));
+  // Existing keywords are untouched.
+  EXPECT_EQ(Postings("apple").size(), 2u);
+}
+
+TEST_F(DiskIndexUpdaterTest, RemovePostingDisappears) {
+  {
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(prefix_);
+    ASSERT_TRUE(updater.ok());
+    XKS_ASSERT_OK((*updater)->RemovePosting("apple", Id("0.0.1")));
+    EXPECT_TRUE(
+        (*updater)->RemovePosting("apple", Id("0.9.9")).IsNotFound());
+    EXPECT_TRUE((*updater)->RemovePosting("nope", Id("0.1")).IsNotFound());
+    XKS_ASSERT_OK((*updater)->Finish());
+  }
+  EXPECT_EQ(Strings(Postings("apple")), (std::vector<std::string>{"0.2.0"}));
+}
+
+TEST_F(DiskIndexUpdaterTest, RemovingEveryPostingDropsTheTerm) {
+  {
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(prefix_);
+    ASSERT_TRUE(updater.ok());
+    XKS_ASSERT_OK((*updater)->RemovePosting("banana", Id("0.1")));
+    XKS_ASSERT_OK((*updater)->RemovePosting("banana", Id("0.2.1")));
+    XKS_ASSERT_OK((*updater)->Finish());
+  }
+  EXPECT_TRUE(Postings("banana").empty());
+  Result<std::unique_ptr<DiskIndex>> index = DiskIndex::Open(prefix_);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->FindTerm("banana"), nullptr);
+}
+
+TEST_F(DiskIndexUpdaterTest, OutOfRangeIdRejected) {
+  Result<std::unique_ptr<DiskIndexUpdater>> updater =
+      DiskIndexUpdater::Open(prefix_);
+  ASSERT_TRUE(updater.ok());
+  // Component 999999 cannot fit the level table built from the corpus.
+  EXPECT_TRUE(
+      (*updater)->AddPosting("apple", Id("0.999999")).IsInvalidArgument());
+}
+
+TEST_F(DiskIndexUpdaterTest, ManyUpdatesSplitBlocksAndStayConsistent) {
+  // Push enough postings through one keyword to force several block
+  // splits and re-keyings; mirror everything in an in-memory reference.
+  std::vector<DeweyId> reference = *source_.Find("apple");
+  {
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(prefix_);
+    ASSERT_TRUE(updater.ok());
+    Rng rng(2024);
+    for (int i = 0; i < 3000; ++i) {
+      const DeweyId id({0, static_cast<uint32_t>(rng.Uniform(8)),
+                        static_cast<uint32_t>(rng.Uniform(8)),
+                        static_cast<uint32_t>(rng.Uniform(8))});
+      if (rng.Bernoulli(0.25) && !reference.empty()) {
+        const size_t pick = rng.Uniform(reference.size());
+        XKS_ASSERT_OK((*updater)->RemovePosting("apple", reference[pick]));
+        reference.erase(reference.begin() + static_cast<long>(pick));
+      } else {
+        const Status st = (*updater)->AddPosting("apple", id);
+        XKS_ASSERT_OK(st);
+        auto pos = std::lower_bound(reference.begin(), reference.end(), id);
+        if (pos == reference.end() || *pos != id) reference.insert(pos, id);
+      }
+    }
+    EXPECT_EQ((*updater)->Frequency("apple"), reference.size());
+    XKS_ASSERT_OK((*updater)->Finish());
+  }
+  EXPECT_EQ(Strings(Postings("apple")), Strings(reference));
+}
+
+TEST_F(DiskIndexUpdaterTest, UpdatedIndexAnswersQueriesCorrectly) {
+  // End to end: mutate the school index, reopen with DiskSearcher, and
+  // check the SLCA result tracks the change.
+  const std::string prefix = ::testing::TempDir() + "/updater_school";
+  Document doc = BuildSchoolDocument();
+  InvertedIndex index = InvertedIndex::Build(doc);
+  {
+    Result<std::unique_ptr<DiskIndex>> built = DiskIndex::Build(index, prefix);
+    ASSERT_TRUE(built.ok());
+  }
+  {
+    // Pretend a new document edit put "ben" on the Robotics project lead
+    // (node 0.2.0.1.0 is the text "John" under the lead element; use its
+    // sibling position 0.2.0.2 as a fresh text node's id).
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(prefix);
+    ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+    XKS_ASSERT_OK((*updater)->AddPosting("ben", Id("0.2.0.2")));
+    XKS_ASSERT_OK((*updater)->Finish());
+  }
+  Result<std::unique_ptr<DiskSearcher>> searcher = DiskSearcher::Open(prefix);
+  ASSERT_TRUE(searcher.ok());
+  Result<SearchResult> result = (*searcher)->Search({"john", "ben"});
+  ASSERT_TRUE(result.ok());
+  // The Robotics project (0.2.0) now contains both names: a 4th answer.
+  EXPECT_EQ(Strings(result->nodes),
+            (std::vector<std::string>{"0.0.0", "0.0.1", "0.1.0.1", "0.2.0"}));
+  for (const char* suffix : {".il", ".scan", ".dict"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST_F(DiskIndexUpdaterTest, InMemoryRejected) {
+  DiskIndexOptions mem;
+  mem.in_memory = true;
+  EXPECT_TRUE(DiskIndexUpdater::Open(prefix_, mem).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace xksearch

@@ -1,0 +1,217 @@
+#include "engine/disk_searcher.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "gen/random_tree.h"
+#include "gen/school.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+using testing_util::Strings;
+
+class DiskSearcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/disk_searcher_idx";
+    XKSearch::BuildOptions build;
+    build.build_disk_index = true;
+    build.disk_path_prefix = prefix_;
+    Result<std::unique_ptr<XKSearch>> system =
+        XKSearch::BuildFromDocument(BuildSchoolDocument(), build);
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    system_ = std::move(*system);
+  }
+
+  void TearDown() override {
+    for (const char* suffix : {".il", ".scan", ".dict"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+
+  std::string prefix_;
+  std::unique_ptr<XKSearch> system_;
+};
+
+TEST_F(DiskSearcherTest, ReopenedIndexAnswersQueries) {
+  // Drop the full engine; only the files remain.
+  system_.reset();
+  Result<std::unique_ptr<DiskSearcher>> searcher = DiskSearcher::Open(prefix_);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  Result<SearchResult> result = (*searcher)->Search({"John", "Ben"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Strings(result->nodes),
+            (std::vector<std::string>{"0.0.0", "0.0.1", "0.1.0.1"}));
+  EXPECT_EQ((*searcher)->Frequency("john"), 4u);
+  EXPECT_EQ((*searcher)->Frequency("nothere"), 0u);
+}
+
+TEST_F(DiskSearcherTest, AgreesWithFullEngineOnAllSemantics) {
+  Result<std::unique_ptr<DiskSearcher>> searcher = DiskSearcher::Open(prefix_);
+  ASSERT_TRUE(searcher.ok());
+  for (Semantics semantics :
+       {Semantics::kSlca, Semantics::kElca, Semantics::kAllLca}) {
+    SearchOptions options;
+    options.semantics = semantics;
+    Result<SearchResult> expected = system_->Search({"john", "ben"}, options);
+    Result<SearchResult> got = (*searcher)->Search({"john", "ben"}, options);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Strings(got->nodes), Strings(expected->nodes))
+        << static_cast<int>(semantics);
+  }
+}
+
+TEST_F(DiskSearcherTest, MissingKeywordAndErrors) {
+  Result<std::unique_ptr<DiskSearcher>> searcher = DiskSearcher::Open(prefix_);
+  ASSERT_TRUE(searcher.ok());
+  Result<SearchResult> empty = (*searcher)->Search({"john", "qqq"});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->nodes.empty());
+  EXPECT_TRUE((*searcher)->Search({}).status().IsInvalidArgument());
+  EXPECT_TRUE((*searcher)->Search({"..."}).status().IsInvalidArgument());
+}
+
+TEST_F(DiskSearcherTest, OpenMissingFilesFails) {
+  EXPECT_TRUE(DiskSearcher::Open(::testing::TempDir() + "/no_such_prefix")
+                  .status()
+                  .IsIoError());
+}
+
+TEST_F(DiskSearcherTest, StatsCountDiskWork) {
+  Result<std::unique_ptr<DiskSearcher>> searcher = DiskSearcher::Open(prefix_);
+  ASSERT_TRUE(searcher.ok());
+  Result<SearchResult> result = (*searcher)->Search({"john", "ben"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.page_reads + result->stats.page_hits, 0u);
+}
+
+TEST(DiskSearcherRandomTest, ParityWithEngineOnRandomDocuments) {
+  const std::string prefix = ::testing::TempDir() + "/disk_searcher_rand";
+  Rng rng(808);
+  RandomTreeOptions options;
+  options.node_count = 600;
+  options.vocab_size = 5;
+  for (int round = 0; round < 5; ++round) {
+    XKSearch::BuildOptions build;
+    build.build_disk_index = true;
+    build.disk_path_prefix = prefix;
+    Result<std::unique_ptr<XKSearch>> system = XKSearch::BuildFromDocument(
+        GenerateRandomDocument(&rng, options), build);
+    ASSERT_TRUE(system.ok());
+    Result<std::unique_ptr<DiskSearcher>> searcher =
+        DiskSearcher::Open(prefix);
+    ASSERT_TRUE(searcher.ok());
+    const std::vector<std::string> vocab = RandomTreeVocabulary(options);
+    for (int q = 0; q < 5; ++q) {
+      const std::vector<std::string> query = {
+          vocab[rng.Uniform(vocab.size())], vocab[rng.Uniform(vocab.size())]};
+      Result<SearchResult> expected = (*system)->Search(query);
+      Result<SearchResult> got = (*searcher)->Search(query);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(Strings(got->nodes), Strings(expected->nodes));
+    }
+  }
+  for (const char* suffix : {".il", ".scan", ".dict"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(DiskSearcherTokenizerTest, CaseSensitiveIndexNormalizesConsistently) {
+  // Build a case-sensitive index; the persisted tokenizer options must
+  // make the reopened searcher treat "John" and "john" as different.
+  const std::string prefix = ::testing::TempDir() + "/disk_searcher_case";
+  XKSearch::BuildOptions build;
+  build.index.tokenizer.lowercase = false;
+  build.build_disk_index = true;
+  build.disk_path_prefix = prefix;
+  Result<std::unique_ptr<XKSearch>> system =
+      XKSearch::BuildFromDocument(BuildSchoolDocument(), build);
+  ASSERT_TRUE(system.ok());
+  system->reset();
+
+  Result<std::unique_ptr<DiskSearcher>> searcher = DiskSearcher::Open(prefix);
+  ASSERT_TRUE(searcher.ok());
+  // The document says "John"; a case-sensitive index has no "john".
+  EXPECT_EQ((*searcher)->Frequency("John"), 4u);
+  EXPECT_EQ((*searcher)->Frequency("john"), 0u);
+  Result<SearchResult> hit = (*searcher)->Search({"John", "Ben"});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->nodes.size(), 3u);
+  Result<SearchResult> miss = (*searcher)->Search({"john", "ben"});
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->nodes.empty());
+  for (const char* suffix : {".il", ".scan", ".dict"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(DiskSearcherSnippetTest, PersistedDocumentEnablesSnippets) {
+  const std::string prefix = ::testing::TempDir() + "/disk_searcher_snip";
+  XKSearch::BuildOptions build;
+  build.build_disk_index = true;
+  build.disk_path_prefix = prefix;
+  build.persist_document = true;
+  Result<std::unique_ptr<XKSearch>> system =
+      XKSearch::BuildFromDocument(BuildSchoolDocument(), build);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  system->reset();
+
+  Result<std::unique_ptr<DiskSearcher>> searcher = DiskSearcher::Open(prefix);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  EXPECT_TRUE((*searcher)->has_document());
+  Result<SearchResult> result = (*searcher)->Search({"john", "ben"});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->nodes.empty());
+  Result<std::string> snippet = (*searcher)->Snippet(result->nodes[0]);
+  ASSERT_TRUE(snippet.ok()) << snippet.status().ToString();
+  EXPECT_NE(snippet->find("John"), std::string::npos);
+  EXPECT_NE(snippet->find("Ben"), std::string::npos);
+  // Truncation works through the same path.
+  Result<std::string> cut = (*searcher)->Snippet(result->nodes[0], 20);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_LT(cut->size(), snippet->size() + 16);
+  for (const char* suffix : {".il", ".scan", ".dict", ".xml"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(DiskSearcherSnippetTest, WithoutPersistedDocumentNotSupported) {
+  const std::string prefix = ::testing::TempDir() + "/disk_searcher_nosnip";
+  XKSearch::BuildOptions build;
+  build.build_disk_index = true;
+  build.disk_path_prefix = prefix;
+  Result<std::unique_ptr<XKSearch>> system =
+      XKSearch::BuildFromDocument(BuildSchoolDocument(), build);
+  ASSERT_TRUE(system.ok());
+  system->reset();
+
+  Result<std::unique_ptr<DiskSearcher>> searcher = DiskSearcher::Open(prefix);
+  ASSERT_TRUE(searcher.ok());
+  EXPECT_FALSE((*searcher)->has_document());
+  EXPECT_TRUE((*searcher)
+                  ->Snippet(testing_util::Id("0"))
+                  .status()
+                  .IsNotSupported());
+  for (const char* suffix : {".il", ".scan", ".dict"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(DiskSearcherSnippetTest, PersistRequiresFileBackedIndex) {
+  XKSearch::BuildOptions build;
+  build.build_disk_index = true;
+  build.disk.in_memory = true;
+  build.persist_document = true;
+  EXPECT_TRUE(XKSearch::BuildFromDocument(BuildSchoolDocument(), build)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace xksearch

@@ -1,0 +1,102 @@
+#include "xml/document.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+using testing_util::Id;
+
+Document MakeSample() {
+  Document doc;
+  const NodeId root = doc.CreateRoot("root");
+  const NodeId a = doc.AppendElement(root, "a");
+  doc.AppendText(a, "hello");
+  doc.AppendElement(a, "leaf");
+  const NodeId b = doc.AppendElement(root, "b");
+  doc.AppendText(b, "world");
+  doc.AppendText(b, "again");
+  return doc;
+}
+
+TEST(DocumentTest, DeweyNumbersFollowStructure) {
+  Document doc = MakeSample();
+  EXPECT_EQ(doc.DeweyOf(0), Id("0"));
+  // a = 0.0, its text = 0.0.0, leaf = 0.0.1, b = 0.1.
+  Result<NodeId> a = doc.FindByDewey(Id("0.0"));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(doc.tag(*a), "a");
+  Result<NodeId> leaf = doc.FindByDewey(Id("0.0.1"));
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(doc.tag(*leaf), "leaf");
+  EXPECT_EQ(doc.DeweyOf(*leaf), Id("0.0.1"));
+}
+
+TEST(DocumentTest, FindByDeweyFailsOnMissing) {
+  Document doc = MakeSample();
+  EXPECT_TRUE(doc.FindByDewey(Id("0.9")).status().IsNotFound());
+  EXPECT_TRUE(doc.FindByDewey(Id("1")).status().IsNotFound());
+  EXPECT_TRUE(doc.FindByDewey(DeweyId()).status().IsNotFound());
+}
+
+TEST(DocumentTest, FindByDeweyInverseOfDeweyOf) {
+  Document doc = MakeSample();
+  for (NodeId n = 0; n < doc.node_count(); ++n) {
+    Result<NodeId> found = doc.FindByDewey(doc.DeweyOf(n));
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(*found, n);
+  }
+}
+
+TEST(DocumentTest, ParentAndOrdinal) {
+  Document doc = MakeSample();
+  Result<NodeId> b = doc.FindByDewey(Id("0.1"));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(doc.parent(*b), doc.root());
+  EXPECT_EQ(doc.ordinal(*b), 1u);
+  EXPECT_EQ(doc.parent(doc.root()), kInvalidNode);
+}
+
+TEST(DocumentTest, LevelsAndMaxDepth) {
+  Document doc = MakeSample();
+  EXPECT_EQ(doc.level(doc.root()), 0u);
+  EXPECT_EQ(doc.max_depth(), 2u);
+}
+
+TEST(DocumentTest, DirectTextConcatenatesImmediateTextChildren) {
+  Document doc = MakeSample();
+  Result<NodeId> b = doc.FindByDewey(Id("0.1"));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(doc.DirectText(*b), "world again");
+  // Root has no direct text (only element children).
+  EXPECT_EQ(doc.DirectText(doc.root()), "");
+}
+
+TEST(DocumentTest, TagInterning) {
+  Document doc;
+  const NodeId root = doc.CreateRoot("x");
+  for (int i = 0; i < 100; ++i) doc.AppendElement(root, "repeated");
+  EXPECT_EQ(doc.tag_count(), 2u);
+}
+
+TEST(DocumentTest, AttributesStoredPerElement) {
+  Document doc;
+  const NodeId root = doc.CreateRoot("x");
+  doc.AddAttribute(root, "k", "v");
+  doc.AddAttribute(root, "k2", "v2");
+  ASSERT_EQ(doc.attributes(root).size(), 2u);
+  const NodeId child = doc.AppendElement(root, "y");
+  EXPECT_TRUE(doc.attributes(child).empty());
+}
+
+TEST(DocumentTest, MoveTransfersOwnership) {
+  Document doc = MakeSample();
+  const size_t n = doc.node_count();
+  Document moved = std::move(doc);
+  EXPECT_EQ(moved.node_count(), n);
+  EXPECT_EQ(moved.tag(moved.root()), "root");
+}
+
+}  // namespace
+}  // namespace xksearch

@@ -1,0 +1,117 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "gen/school.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xml/parser.h"
+
+namespace xksearch {
+namespace {
+
+using testing_util::Id;
+using testing_util::Strings;
+
+TEST(InvertedIndexTest, TextTokensAttributedToTextNodes) {
+  Result<Document> doc = ParseXml("<r><a>john ben</a><b>john</b></r>");
+  ASSERT_TRUE(doc.ok());
+  InvertedIndex index = InvertedIndex::Build(*doc);
+  const std::vector<DeweyId>* john = index.Find("john");
+  ASSERT_NE(john, nullptr);
+  // Text node of <a> is 0.0.0, of <b> is 0.1.0.
+  EXPECT_EQ(Strings(*john), (std::vector<std::string>{"0.0.0", "0.1.0"}));
+  EXPECT_EQ(index.Frequency("ben"), 1u);
+  EXPECT_EQ(index.Frequency("absent"), 0u);
+}
+
+TEST(InvertedIndexTest, TagsIndexedOnElements) {
+  Result<Document> doc = ParseXml("<root><title>x</title></root>");
+  ASSERT_TRUE(doc.ok());
+  InvertedIndex index = InvertedIndex::Build(*doc);
+  const std::vector<DeweyId>* title = index.Find("title");
+  ASSERT_NE(title, nullptr);
+  EXPECT_EQ(Strings(*title), (std::vector<std::string>{"0.0"}));
+
+  IndexOptions no_tags;
+  no_tags.index_tags = false;
+  InvertedIndex without = InvertedIndex::Build(*doc, no_tags);
+  EXPECT_EQ(without.Find("title"), nullptr);
+}
+
+TEST(InvertedIndexTest, AttributesIndexedOnOwningElement) {
+  Result<Document> doc = ParseXml("<r year=\"2005\"><x name=\"widget\"/></r>");
+  ASSERT_TRUE(doc.ok());
+  InvertedIndex index = InvertedIndex::Build(*doc);
+  const std::vector<DeweyId>* y = index.Find("2005");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(Strings(*y), (std::vector<std::string>{"0"}));
+  ASSERT_NE(index.Find("widget"), nullptr);
+  // Attribute names are off by default.
+  EXPECT_EQ(index.Find("name"), nullptr);
+
+  IndexOptions with_names;
+  with_names.index_attribute_names = true;
+  InvertedIndex named = InvertedIndex::Build(*doc, with_names);
+  EXPECT_NE(named.Find("name"), nullptr);
+}
+
+TEST(InvertedIndexTest, ListsAreSortedAndUnique) {
+  Result<Document> doc =
+      ParseXml("<r><a>dup dup dup</a><b><c>dup</c></b><d>dup</d></r>");
+  ASSERT_TRUE(doc.ok());
+  InvertedIndex index = InvertedIndex::Build(*doc);
+  const std::vector<DeweyId>* dup = index.Find("dup");
+  ASSERT_NE(dup, nullptr);
+  // One entry per node even though <a>'s text mentions it three times.
+  EXPECT_EQ(dup->size(), 3u);
+  EXPECT_TRUE(std::is_sorted(dup->begin(), dup->end()));
+}
+
+TEST(InvertedIndexTest, LevelTableCoversObservedDepths) {
+  Result<Document> doc = ParseXml("<r><a><b><c>deep</c></b></a></r>");
+  ASSERT_TRUE(doc.ok());
+  InvertedIndex index = InvertedIndex::Build(*doc);
+  // Depth of the text node is 5 levels (root..text), so the table has 5
+  // entries; the root level needs just the spare probe bit.
+  EXPECT_EQ(index.level_table().depth(), 5u);
+  EXPECT_EQ(index.level_table().BitsAt(0), 1);
+}
+
+TEST(InvertedIndexTest, SchoolDocumentKeywordLists) {
+  InvertedIndex index = InvertedIndex::Build(BuildSchoolDocument());
+  // John appears as CS2A instructor, CS3A lecturer, baseball player and
+  // Robotics lead; Ben as CS2A TA, CS3A student and baseball player.
+  EXPECT_EQ(index.Frequency("john"), 4u);
+  EXPECT_EQ(index.Frequency("ben"), 3u);
+  EXPECT_EQ(index.Frequency("mary"), 2u);
+  EXPECT_GT(index.term_count(), 10u);
+}
+
+TEST(InvertedIndexTest, AddPostingDeduplicatesConsecutive) {
+  InvertedIndex index;
+  index.AddPosting("kw", Id("0.1"));
+  index.AddPosting("kw", Id("0.1"));
+  index.AddPosting("kw", Id("0.2"));
+  EXPECT_EQ(index.Frequency("kw"), 2u);
+  EXPECT_EQ(index.total_postings(), 2u);
+}
+
+TEST(InvertedIndexTest, TermsSorted) {
+  InvertedIndex index;
+  index.AddPosting("zebra", Id("0.1"));
+  index.AddPosting("apple", Id("0.1"));
+  index.AddPosting("mango", Id("0.1"));
+  EXPECT_EQ(index.Terms(),
+            (std::vector<std::string>{"apple", "mango", "zebra"}));
+}
+
+TEST(InvertedIndexTest, EmptyDocument) {
+  Document empty;
+  InvertedIndex index = InvertedIndex::Build(empty);
+  EXPECT_EQ(index.term_count(), 0u);
+  EXPECT_EQ(index.total_postings(), 0u);
+}
+
+}  // namespace
+}  // namespace xksearch

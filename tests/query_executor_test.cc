@@ -1,0 +1,107 @@
+#include "engine/query_executor.h"
+
+#include <string>
+
+#include "engine/search_types.h"
+
+#include "gen/school.h"
+#include "gtest/gtest.h"
+#include "storage/disk_index.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+class QueryExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_ = InvertedIndex::Build(BuildSchoolDocument());
+    DiskIndexOptions mem;
+    mem.in_memory = true;
+    Result<std::unique_ptr<DiskIndex>> disk = DiskIndex::Build(index_, "", mem);
+    ASSERT_TRUE(disk.ok());
+    disk_ = std::move(*disk);
+  }
+
+  InvertedIndex index_;
+  std::unique_ptr<DiskIndex> disk_;
+  QueryStats stats_;
+};
+
+TEST_F(QueryExecutorTest, OrdersBySmallestListFirst) {
+  // mary(2) < ben(3) < john(4); input order must not matter.
+  Result<PreparedQuery> q =
+      PrepareQuery(index_, {"john", "mary", "ben"}, {}, &stats_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->keywords,
+            (std::vector<std::string>{"mary", "ben", "john"}));
+  EXPECT_EQ(q->min_frequency, 2u);
+  EXPECT_EQ(q->max_frequency, 4u);
+  EXPECT_FALSE(q->missing);
+  ASSERT_EQ(q->lists.size(), 3u);
+  EXPECT_EQ(q->lists[0]->size(), 2u);
+  EXPECT_EQ(q->lists[2]->size(), 4u);
+}
+
+TEST_F(QueryExecutorTest, StableOrderOnTies) {
+  Result<PreparedQuery> a = PrepareQuery(index_, {"john", "ben"}, {}, &stats_);
+  Result<PreparedQuery> b = PrepareQuery(index_, {"ben", "john"}, {}, &stats_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // ben(3) always precedes john(4) regardless of input order.
+  EXPECT_EQ(a->keywords, b->keywords);
+}
+
+TEST_F(QueryExecutorTest, NormalizesLikeIndexer) {
+  Result<PreparedQuery> q = PrepareQuery(index_, {"JOHN!", "Ben"}, {}, &stats_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->keywords, (std::vector<std::string>{"ben", "john"}));
+}
+
+TEST_F(QueryExecutorTest, MissingKeywordFlagged) {
+  Result<PreparedQuery> q =
+      PrepareQuery(index_, {"john", "absentword"}, {}, &stats_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->missing);
+  EXPECT_EQ(q->min_frequency, 0u);
+  // The missing keyword still gets a (empty) list so k is preserved.
+  EXPECT_EQ(q->lists.size(), 2u);
+  EXPECT_EQ(q->lists[0]->size(), 0u);
+}
+
+TEST_F(QueryExecutorTest, RejectsEmptyAndUnindexable) {
+  EXPECT_TRUE(PrepareQuery(index_, {}, {}, &stats_).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PrepareQuery(index_, {"..."}, {}, &stats_).status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryExecutorTest, DiskPreparationMirrorsMemory) {
+  Result<PreparedQuery> mem =
+      PrepareQuery(index_, {"john", "mary"}, {}, &stats_);
+  Result<PreparedQuery> disk =
+      PrepareQuery(*disk_, {"john", "mary"}, {}, &stats_);
+  ASSERT_TRUE(mem.ok());
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(mem->keywords, disk->keywords);
+  EXPECT_EQ(mem->min_frequency, disk->min_frequency);
+  EXPECT_EQ(mem->max_frequency, disk->max_frequency);
+  ASSERT_EQ(disk->lists.size(), 2u);
+  EXPECT_EQ(disk->lists[0]->size(), mem->lists[0]->size());
+}
+
+TEST(ResolveAlgorithmTest, ThresholdBoundary) {
+  SearchOptions options;
+  options.auto_ratio_threshold = 8.0;
+  EXPECT_EQ(ResolveAlgorithmChoice(options, 10, 80),
+            SlcaAlgorithm::kIndexedLookupEager);  // exactly at threshold
+  EXPECT_EQ(ResolveAlgorithmChoice(options, 10, 79),
+            SlcaAlgorithm::kScanEager);
+  EXPECT_EQ(ResolveAlgorithmChoice(options, 0, 5),
+            SlcaAlgorithm::kIndexedLookupEager);  // missing keyword
+  options.algorithm = AlgorithmChoice::kStack;
+  EXPECT_EQ(ResolveAlgorithmChoice(options, 1, 1), SlcaAlgorithm::kStack);
+}
+
+}  // namespace
+}  // namespace xksearch

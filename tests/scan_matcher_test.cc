@@ -1,0 +1,150 @@
+// Targeted tests for the Scan Eager cursor subtlety: probe targets into
+// a list are not monotone in document order — a later chain value can be
+// an *ancestor* of an earlier probe (its Dewey id sorts before it). The
+// forward-only cursor stays correct because a passed element that lies
+// inside the new target's subtree pins the match-step result to the
+// target itself. These cases force that branch explicitly and check
+// Scan Eager against Indexed Lookup on the same lists.
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "slca/brute_force.h"
+#include "slca/keyword_list.h"
+#include "slca/slca.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+using testing_util::Ids;
+using testing_util::Strings;
+
+std::vector<DeweyId> RunAlgorithm(
+    SlcaAlgorithm algorithm, const std::vector<std::vector<DeweyId>>& lists) {
+  QueryStats stats;
+  std::vector<std::unique_ptr<KeywordList>> owned;
+  std::vector<KeywordList*> ptrs;
+  for (const auto& list : lists) {
+    owned.push_back(std::make_unique<VectorKeywordList>(&list, &stats));
+    ptrs.push_back(owned.back().get());
+  }
+  Result<std::vector<DeweyId>> got =
+      ComputeSlcaList(algorithm, ptrs, {}, &stats);
+  EXPECT_TRUE(got.ok()) << got.status().ToString();
+  return got.ok() ? got.ValueOrDie() : std::vector<DeweyId>{};
+}
+
+void ExpectScanMatchesIndexedLookup(
+    const std::vector<std::vector<DeweyId>>& lists) {
+  EXPECT_EQ(
+      Strings(RunAlgorithm(SlcaAlgorithm::kScanEager, lists)),
+      Strings(RunAlgorithm(SlcaAlgorithm::kIndexedLookupEager, lists)));
+  EXPECT_EQ(Strings(RunAlgorithm(SlcaAlgorithm::kScanEager, lists)),
+            Strings(BruteForceSlca(lists)));
+}
+
+TEST(ScanMatcherTest, ProbeRegressesToAncestorAfterDeepChain) {
+  // k=3. For v1=0.0.1 the chain stays deep (probe into S3 is 0.0);
+  // for v2=0.5 the S2 step yields the root (its matches are far away),
+  // so the S3 probe regresses from 0.0 to 0 — an ancestor.
+  const auto s1 = Ids({"0.0.1", "0.5"});
+  const auto s2 = Ids({"0.0.2", "0.9"});
+  const auto s3 = Ids({"0.0.3"});
+  ExpectScanMatchesIndexedLookup({s1, s2, s3});
+}
+
+TEST(ScanMatcherTest, PassedElementInsideRegressedTargetSubtree) {
+  // First probe 0.2.9 passes the element 0.2.5; the next probe is 0.2
+  // (an ancestor of the first). The passed 0.2.5 lies inside
+  // subtree(0.2), which must pin the step result to 0.2 itself.
+  const auto s1 = Ids({"0.2.9", "0.3"});   // S1 drives the probes
+  const auto s2 = Ids({"0.2.5"});
+  // Chain for 0.2.9 probes S2 at 0.2.9 -> lm=0.2.5, lca=0.2. Chain for
+  // 0.3 probes S2 at 0.3 -> lm=0.2.5 -> lca=0. SLCA = {0.2}.
+  ExpectScanMatchesIndexedLookup({s2, s1});
+  ExpectScanMatchesIndexedLookup({s1, s2});
+}
+
+TEST(ScanMatcherTest, CursorDoesNotLeakForwardState) {
+  // After the cursor ran to the end of the list for an early probe, a
+  // regressed later probe must not fabricate a right match.
+  const auto s1 = Ids({"0.8", "0.9"});
+  const auto s2 = Ids({"0.1"});
+  ExpectScanMatchesIndexedLookup({s1, s2});
+}
+
+TEST(ScanMatcherTest, EqualTargetHitsExactElement) {
+  // The probe equals a list element exactly: lca(x, x) = x.
+  const auto s1 = Ids({"0.4"});
+  const auto s2 = Ids({"0.4", "0.6"});
+  ExpectScanMatchesIndexedLookup({s1, s2});
+}
+
+TEST(ScanMatcherTest, AdversarialRandomChains) {
+  // Dense random lists over a skinny deep tree maximize regressions.
+  Rng rng(4242);
+  for (int round = 0; round < 200; ++round) {
+    const size_t k = 2 + rng.Uniform(3);
+    std::vector<std::vector<DeweyId>> lists(k);
+    for (auto& list : lists) {
+      std::vector<DeweyId> ids;
+      const size_t n = 1 + rng.Uniform(10);
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<uint32_t> comps = {0};
+        const size_t depth = 1 + rng.Uniform(5);
+        for (size_t d = 0; d < depth; ++d) {
+          comps.push_back(static_cast<uint32_t>(rng.Uniform(3)));
+        }
+        ids.emplace_back(std::move(comps));
+      }
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      list = std::move(ids);
+    }
+    const std::vector<DeweyId> expected = BruteForceSlca(lists);
+    EXPECT_EQ(Strings(RunAlgorithm(SlcaAlgorithm::kScanEager, lists)),
+              Strings(expected))
+        << "round " << round;
+  }
+}
+
+TEST(DeweyOrderTest, ExhaustiveSmallSpaceTotalOrder) {
+  // Enumerate every Dewey id of depth <= 3 with components in {0,1,2}
+  // rooted at 0 and verify comparison is a strict total order consistent
+  // with ancestor/descendant structure and the LCA operation.
+  std::vector<DeweyId> ids;
+  ids.push_back(DeweyId({0}));
+  for (uint32_t a = 0; a < 3; ++a) {
+    ids.push_back(DeweyId({0, a}));
+    for (uint32_t b = 0; b < 3; ++b) {
+      ids.push_back(DeweyId({0, a, b}));
+    }
+  }
+  for (const DeweyId& x : ids) {
+    EXPECT_EQ(x.Compare(x), 0);
+    for (const DeweyId& y : ids) {
+      const int xy = x.Compare(y);
+      EXPECT_EQ(xy, -y.Compare(x));
+      if (x.IsAncestorOf(y)) {
+        EXPECT_LT(xy, 0);  // ancestors precede descendants
+        EXPECT_EQ(x.Lca(y), x);
+      }
+      for (const DeweyId& z : ids) {
+        // Transitivity.
+        if (xy < 0 && y.Compare(z) < 0) {
+          EXPECT_LT(x.Compare(z), 0);
+        }
+        // lca(x,z) and lca(y,z) are comparable ancestors of z.
+        const DeweyId a = x.Lca(z);
+        const DeweyId b = y.Lca(z);
+        EXPECT_TRUE(a.IsAncestorOrSelf(b) || b.IsAncestorOrSelf(a));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xksearch

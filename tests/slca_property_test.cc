@@ -1,0 +1,252 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/random_tree.h"
+#include "gtest/gtest.h"
+#include "index/inverted_index.h"
+#include "slca/all_lca.h"
+#include "slca/brute_force.h"
+#include "slca/elca.h"
+#include "slca/slca.h"
+#include "storage/disk_index.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace {
+
+using testing_util::Strings;
+
+struct PropertyCase {
+  uint64_t seed;
+  size_t node_count;
+  size_t vocab;
+  size_t query_size;
+};
+
+class SlcaPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_n" +
+         std::to_string(info.param.node_count) + "_v" +
+         std::to_string(info.param.vocab) + "_k" +
+         std::to_string(info.param.query_size);
+}
+
+// Every algorithm, over both in-memory and disk-backed lists, must agree
+// with the tree oracle (and, on small inputs, the brute force) for many
+// random documents and random keyword subsets.
+TEST_P(SlcaPropertyTest, AllAlgorithmsMatchOracle) {
+  const PropertyCase& param = GetParam();
+  Rng rng(param.seed);
+  RandomTreeOptions tree_options;
+  tree_options.node_count = param.node_count;
+  tree_options.vocab_size = param.vocab;
+
+  for (int round = 0; round < 8; ++round) {
+    const Document doc = GenerateRandomDocument(&rng, tree_options);
+    InvertedIndex index = InvertedIndex::Build(doc);
+    DiskIndexOptions disk_options;
+    disk_options.in_memory = true;
+    Result<std::unique_ptr<DiskIndex>> disk =
+        DiskIndex::Build(index, "", disk_options);
+    ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+    const std::vector<std::string> vocab = RandomTreeVocabulary(tree_options);
+    for (int q = 0; q < 6; ++q) {
+      // Random keyword subset (may include keywords absent from the doc).
+      std::vector<std::string> keywords;
+      std::vector<std::vector<DeweyId>> lists;
+      for (size_t i = 0; i < param.query_size; ++i) {
+        const std::string& kw = vocab[rng.Uniform(vocab.size())];
+        keywords.push_back(kw);
+        const std::vector<DeweyId>* list = index.Find(kw);
+        lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+      }
+
+      const std::vector<DeweyId> expected = TreeOracle(doc, lists).Slca();
+
+      // Cross-check the oracle itself against brute force when feasible.
+      size_t combos = 1;
+      for (const auto& list : lists) {
+        combos *= std::max<size_t>(list.size(), 1);
+      }
+      if (combos <= 4096) {
+        EXPECT_EQ(Strings(BruteForceSlca(lists)), Strings(expected));
+      }
+
+      // The alternative semantics agree with their oracles too, over
+      // both storage paths.
+      {
+        const TreeOracle oracle(doc, lists);
+        QueryStats stats;
+        std::vector<std::unique_ptr<KeywordList>> owned;
+        std::vector<KeywordList*> ptrs;
+        for (const auto& list : lists) {
+          owned.push_back(std::make_unique<VectorKeywordList>(&list, &stats));
+          ptrs.push_back(owned.back().get());
+        }
+        Result<std::vector<DeweyId>> elca = ComputeElcaList(ptrs, {}, &stats);
+        ASSERT_TRUE(elca.ok());
+        EXPECT_EQ(Strings(*elca), Strings(oracle.Elca()))
+            << "elca seed=" << param.seed << " round=" << round;
+        Result<std::vector<DeweyId>> lca = ComputeAllLcaList(ptrs, {}, &stats);
+        ASSERT_TRUE(lca.ok());
+        EXPECT_EQ(Strings(*lca), Strings(oracle.AllLca()))
+            << "lca seed=" << param.seed << " round=" << round;
+
+        // Disk-backed parity for both semantics.
+        QueryStats disk_stats;
+        (*disk)->AttachStats(&disk_stats);
+        std::vector<std::unique_ptr<KeywordList>> disk_owned;
+        std::vector<KeywordList*> disk_ptrs;
+        for (const std::string& kw : keywords) {
+          const DiskIndex::TermInfo* info = (*disk)->FindTerm(kw);
+          if (info == nullptr) {
+            disk_owned.push_back(std::make_unique<EmptyKeywordList>());
+          } else {
+            disk_owned.push_back(std::make_unique<DiskKeywordList>(
+                disk->get(), info->id, info->frequency, &disk_stats));
+          }
+          disk_ptrs.push_back(disk_owned.back().get());
+        }
+        Result<std::vector<DeweyId>> disk_elca =
+            ComputeElcaList(disk_ptrs, {}, &disk_stats);
+        ASSERT_TRUE(disk_elca.ok());
+        EXPECT_EQ(Strings(*disk_elca), Strings(oracle.Elca()));
+        Result<std::vector<DeweyId>> disk_lca =
+            ComputeAllLcaList(disk_ptrs, {}, &disk_stats);
+        ASSERT_TRUE(disk_lca.ok());
+        EXPECT_EQ(Strings(*disk_lca), Strings(oracle.AllLca()));
+        (*disk)->AttachStats(nullptr);
+      }
+
+      for (SlcaAlgorithm algorithm :
+           {SlcaAlgorithm::kIndexedLookupEager, SlcaAlgorithm::kScanEager,
+            SlcaAlgorithm::kStack}) {
+        // In-memory lists.
+        {
+          QueryStats stats;
+          std::vector<std::unique_ptr<KeywordList>> owned;
+          std::vector<KeywordList*> ptrs;
+          for (const auto& list : lists) {
+            owned.push_back(
+                std::make_unique<VectorKeywordList>(&list, &stats));
+            ptrs.push_back(owned.back().get());
+          }
+          Result<std::vector<DeweyId>> got =
+              ComputeSlcaList(algorithm, ptrs, {}, &stats);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_EQ(Strings(*got), Strings(expected))
+              << ToString(algorithm) << " (memory) seed=" << param.seed
+              << " round=" << round << " q=" << q;
+        }
+        // Disk-backed lists.
+        {
+          QueryStats stats;
+          (*disk)->AttachStats(&stats);
+          std::vector<std::unique_ptr<KeywordList>> owned;
+          std::vector<KeywordList*> ptrs;
+          for (const std::string& kw : keywords) {
+            const DiskIndex::TermInfo* info = (*disk)->FindTerm(kw);
+            if (info == nullptr) {
+              owned.push_back(std::make_unique<EmptyKeywordList>());
+            } else {
+              owned.push_back(std::make_unique<DiskKeywordList>(
+                  disk->get(), info->id, info->frequency, &stats));
+            }
+            ptrs.push_back(owned.back().get());
+          }
+          Result<std::vector<DeweyId>> got =
+              ComputeSlcaList(algorithm, ptrs, {}, &stats);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_EQ(Strings(*got), Strings(expected))
+              << ToString(algorithm) << " (disk) seed=" << param.seed;
+          (*disk)->AttachStats(nullptr);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedSweep, SlcaPropertyTest,
+    ::testing::Values(
+        PropertyCase{1, 20, 3, 2}, PropertyCase{2, 50, 4, 2},
+        PropertyCase{3, 50, 2, 3}, PropertyCase{4, 120, 5, 3},
+        PropertyCase{5, 120, 3, 2}, PropertyCase{6, 300, 6, 4},
+        PropertyCase{7, 300, 2, 2}, PropertyCase{8, 800, 8, 3},
+        PropertyCase{9, 800, 4, 5}, PropertyCase{10, 40, 1, 1},
+        PropertyCase{11, 2000, 10, 3}, PropertyCase{12, 2000, 5, 2}),
+    CaseName);
+
+// Deep, skinny trees stress the Dewey/LCA machinery differently from the
+// bushy default shape.
+TEST(SlcaPropertyDeepTest, DeepTreesMatchOracle) {
+  Rng rng(99);
+  RandomTreeOptions options;
+  options.node_count = 300;
+  options.max_depth = 40;
+  options.max_children = 2;
+  options.vocab_size = 4;
+  for (int round = 0; round < 10; ++round) {
+    const Document doc = GenerateRandomDocument(&rng, options);
+    InvertedIndex index = InvertedIndex::Build(doc);
+    const std::vector<std::string> vocab = RandomTreeVocabulary(options);
+    std::vector<std::vector<DeweyId>> lists;
+    for (const std::string& kw :
+         {vocab[rng.Uniform(4)], vocab[rng.Uniform(4)]}) {
+      const std::vector<DeweyId>* list = index.Find(kw);
+      lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+    }
+    const std::vector<DeweyId> expected = TreeOracle(doc, lists).Slca();
+    for (SlcaAlgorithm algorithm :
+         {SlcaAlgorithm::kIndexedLookupEager, SlcaAlgorithm::kScanEager,
+          SlcaAlgorithm::kStack}) {
+      QueryStats stats;
+      std::vector<std::unique_ptr<KeywordList>> owned;
+      std::vector<KeywordList*> ptrs;
+      for (const auto& list : lists) {
+        owned.push_back(std::make_unique<VectorKeywordList>(&list, &stats));
+        ptrs.push_back(owned.back().get());
+      }
+      Result<std::vector<DeweyId>> got =
+          ComputeSlcaList(algorithm, ptrs, {}, &stats);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(Strings(*got), Strings(expected)) << ToString(algorithm);
+    }
+  }
+}
+
+// Block size must never affect the result set, only delivery batching.
+TEST(SlcaPropertyTest, BlockSizeInvariance) {
+  Rng rng(7);
+  RandomTreeOptions options;
+  options.node_count = 400;
+  options.vocab_size = 4;
+  const Document doc = GenerateRandomDocument(&rng, options);
+  InvertedIndex index = InvertedIndex::Build(doc);
+  const std::vector<DeweyId>* a = index.Find("w0");
+  const std::vector<DeweyId>* b = index.Find("w1");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  QueryStats stats;
+  VectorKeywordList la(a, &stats), lb(b, &stats);
+  std::vector<KeywordList*> lists = {&la, &lb};
+  SlcaOptions base;
+  Result<std::vector<DeweyId>> baseline = ComputeSlcaList(
+      SlcaAlgorithm::kIndexedLookupEager, lists, base, &stats);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t block : {0u, 2u, 7u, 64u, 100000u}) {
+    SlcaOptions opts;
+    opts.block_size = block;
+    Result<std::vector<DeweyId>> got = ComputeSlcaList(
+        SlcaAlgorithm::kIndexedLookupEager, lists, opts, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Strings(*got), Strings(*baseline)) << "block=" << block;
+  }
+}
+
+}  // namespace
+}  // namespace xksearch

@@ -1,0 +1,149 @@
+#include "common/status.h"
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "gtest/gtest.h"
+
+namespace xksearch {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+
+  Status st = Status::NotFound("missing key");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "missing key");
+  EXPECT_EQ(st.ToString(), "Not found: missing key");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status original = Status::Corruption("bad page");
+  Status copy = original;
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.message(), "bad page");
+  // Copying OK stays OK.
+  Status ok;
+  Status ok_copy = ok;
+  EXPECT_TRUE(ok_copy.ok());
+}
+
+TEST(StatusTest, CopyAssignOverwrites) {
+  Status st = Status::IoError("disk gone");
+  Status ok;
+  st = ok;
+  EXPECT_TRUE(st.ok());
+  ok = Status::NotFound("later");
+  EXPECT_TRUE(ok.IsNotFound());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status st = Status::Internal("boom");
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsInternal());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    XKS_RETURN_NOT_OK(Status::OutOfRange("over"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(fails().IsOutOfRange());
+
+  auto succeeds = []() -> Status {
+    XKS_RETURN_NOT_OK(Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(succeeds().ok());
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "Parse error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nothing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::InvalidArgument("no");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    XKS_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_TRUE(outer(true).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(QueryStatsTest, AccumulateAndReset) {
+  QueryStats a;
+  a.match_ops = 2;
+  a.dewey_comparisons = 10;
+  a.page_reads = 1;
+  QueryStats b;
+  b.match_ops = 3;
+  b.results = 7;
+  b.page_hits = 4;
+  a += b;
+  EXPECT_EQ(a.match_ops, 5u);
+  EXPECT_EQ(a.dewey_comparisons, 10u);
+  EXPECT_EQ(a.results, 7u);
+  EXPECT_EQ(a.page_hits, 4u);
+  a.Reset();
+  EXPECT_EQ(a.match_ops, 0u);
+  EXPECT_EQ(a.page_reads, 0u);
+}
+
+TEST(QueryStatsTest, ToStringNamesEveryCounter) {
+  QueryStats stats;
+  stats.match_ops = 1;
+  stats.results = 2;
+  const std::string s = stats.ToString();
+  for (const char* field : {"match_ops", "dewey_cmp", "lca_ops", "postings",
+                            "page_reads", "page_hits", "results"}) {
+    EXPECT_NE(s.find(field), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace xksearch

@@ -1,0 +1,52 @@
+#ifndef XKSEARCH_TESTS_TEST_UTIL_H_
+#define XKSEARCH_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "dewey/dewey_id.h"
+#include "gtest/gtest.h"
+
+namespace xksearch {
+namespace testing_util {
+
+/// Builds a DeweyId from "0.1.2" (test-only convenience; asserts on
+/// malformed input).
+inline DeweyId Id(const std::string& text) {
+  Result<DeweyId> parsed = DeweyId::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? parsed.ValueOrDie() : DeweyId();
+}
+
+/// Builds a vector of DeweyIds from dotted strings.
+inline std::vector<DeweyId> Ids(const std::vector<std::string>& texts) {
+  std::vector<DeweyId> out;
+  out.reserve(texts.size());
+  for (const std::string& t : texts) out.push_back(Id(t));
+  return out;
+}
+
+/// Renders ids as dotted strings for readable failure messages.
+inline std::vector<std::string> Strings(const std::vector<DeweyId>& ids) {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (const DeweyId& id : ids) out.push_back(id.ToString());
+  return out;
+}
+
+#define XKS_ASSERT_OK(expr)                                         \
+  do {                                                              \
+    const ::xksearch::Status _st = (expr);                          \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                        \
+  } while (false)
+
+#define XKS_EXPECT_OK(expr)                                         \
+  do {                                                              \
+    const ::xksearch::Status _st = (expr);                          \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                        \
+  } while (false)
+
+}  // namespace testing_util
+}  // namespace xksearch
+
+#endif  // XKSEARCH_TESTS_TEST_UTIL_H_

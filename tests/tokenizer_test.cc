@@ -1,0 +1,58 @@
+#include "index/tokenizer.h"
+
+#include "gtest/gtest.h"
+
+namespace xksearch {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("Yu Xu, and Yannis"),
+            (std::vector<std::string>{"yu", "xu", "and", "yannis"}));
+  EXPECT_EQ(Tokenize("a-b_c.d"),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  EXPECT_EQ(Tokenize("JOHN Ben"), (std::vector<std::string>{"john", "ben"}));
+  TokenizerOptions keep_case;
+  keep_case.lowercase = false;
+  EXPECT_EQ(Tokenize("JOHN Ben", keep_case),
+            (std::vector<std::string>{"JOHN", "Ben"}));
+}
+
+TEST(TokenizerTest, DigitsAreTokens) {
+  EXPECT_EQ(Tokenize("SIGMOD 2005"),
+            (std::vector<std::string>{"sigmod", "2005"}));
+  EXPECT_EQ(Tokenize("cs2a"), (std::vector<std::string>{"cs2a"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnlyInputs) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,.;!  ").empty());
+}
+
+TEST(TokenizerTest, MinLengthFilters) {
+  TokenizerOptions opts;
+  opts.min_length = 3;
+  EXPECT_EQ(Tokenize("a bb ccc dddd", opts),
+            (std::vector<std::string>{"ccc", "dddd"}));
+}
+
+TEST(TokenizerTest, StreamingMatchesBatch) {
+  const std::string text = "The Indexed-Lookup Eager algorithm, 2005!";
+  std::vector<std::string> streamed;
+  TokenizeTo(text, {}, [&](std::string_view t) { streamed.emplace_back(t); });
+  EXPECT_EQ(streamed, Tokenize(text));
+}
+
+TEST(NormalizeKeywordTest, NormalizesLikeIndexer) {
+  EXPECT_EQ(NormalizeKeyword("John"), "john");
+  EXPECT_EQ(NormalizeKeyword("  Ben!  "), "ben");
+  EXPECT_EQ(NormalizeKeyword("!!!"), "");
+  TokenizerOptions opts;
+  opts.min_length = 4;
+  EXPECT_EQ(NormalizeKeyword("abc", opts), "");
+}
+
+}  // namespace
+}  // namespace xksearch

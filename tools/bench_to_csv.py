@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Converts the google-benchmark console output recorded in
+bench_output.txt into one CSV per experiment, ready for plotting.
+
+Usage: tools/bench_to_csv.py [bench_output.txt] [out_dir]
+
+Each line like
+  RunFig8/IndexedLookup/10/100000/min_time:0.100  0.84 ms  ...  k=v ...
+becomes a CSV row
+  series,arg0,arg1,time_ms,<counter columns...>
+in out_dir/RunFig8.csv.
+"""
+
+import collections
+import csv
+import os
+import re
+import sys
+
+
+LINE = re.compile(
+    r"^(?P<bench>[A-Za-z_][\w]*)(?:/(?P<series>[A-Za-z_]\w*))?"
+    r"(?P<args>(?:/-?\d+)*)"
+    r"(?:/min_time:[\d.]+)?(?:/real_time)?(?:/threads:(?P<threads>\d+))?\s+"
+    r"(?P<time>[\d.]+) (?P<unit>ns|us|ms|s)\s")
+COUNTER = re.compile(r"([\w/]+)=([\d.]+[kMG]?)")
+SCALE = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
+
+
+def parse_value(text):
+    if text[-1] in SUFFIX:
+        return float(text[:-1]) * SUFFIX[text[-1]]
+    return float(text)
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    os.makedirs(out_dir, exist_ok=True)
+
+    tables = collections.defaultdict(list)
+    with open(src) as f:
+        for line in f:
+            m = LINE.match(line.strip())
+            if not m:
+                continue
+            row = {
+                "series": m.group("series") or "",
+                "time_ms": float(m.group("time")) * SCALE[m.group("unit")],
+            }
+            for i, arg in enumerate(a for a in m.group("args").split("/") if a):
+                row[f"arg{i}"] = arg
+            if m.group("threads"):
+                row["threads"] = m.group("threads")
+            # Counters after the iteration column.
+            for key, value in COUNTER.findall(line):
+                if key in ("min_time", "real_time"):
+                    continue
+                row[key.replace("/", "_per_")] = parse_value(value)
+            tables[m.group("bench")].append(row)
+
+    for bench, rows in tables.items():
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        path = os.path.join(out_dir, f"{bench}.csv")
+        with open(path, "w", newline="") as f:
+            writer = csv.DictWriter(f, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"{path}: {len(rows)} rows")
+
+
+if __name__ == "__main__":
+    main()
