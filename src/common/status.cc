@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Not supported";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

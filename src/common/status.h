@@ -20,6 +20,11 @@ enum class StatusCode : int {
   kOutOfRange = 6,
   kNotSupported = 7,
   kInternal = 8,
+  /// Transient overload: the operation was refused by admission control
+  /// (e.g. a full request queue) and may succeed if retried later.
+  kUnavailable = 9,
+  /// The caller-supplied deadline passed before the operation ran.
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -73,6 +78,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -90,6 +101,10 @@ class Status {
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

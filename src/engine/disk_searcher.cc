@@ -55,6 +55,8 @@ Result<SearchResult> DiskSearcher::SearchStreaming(
     const std::vector<std::string>& keywords, const SearchOptions& options,
     const ResultCallback& emit) const {
   SearchResult result;
+  // Disk queries mutate shared buffer-pool state under const; serialize.
+  std::lock_guard<std::mutex> lock(search_mutex_);
   index_->AttachStats(&result.stats);
   Result<PreparedQuery> prepared =
       PrepareQuery(*index_, keywords, tokenizer_, &result.stats);

@@ -2,6 +2,7 @@
 #define XKSEARCH_ENGINE_DISK_SEARCHER_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,8 @@ class DiskSearcher {
 
   /// Same semantics as XKSearch::Search, always against the disk index.
   /// `options.use_disk_index` is implied; snippets are unavailable here.
+  /// Safe to call from multiple threads: queries are serialized
+  /// internally (the underlying buffer pools are single-threaded).
   Result<SearchResult> Search(const std::vector<std::string>& keywords,
                               const SearchOptions& options = {}) const;
 
@@ -46,6 +49,10 @@ class DiskSearcher {
       const ResultCallback& emit) const;
 
   uint64_t Frequency(std::string_view keyword) const;
+
+  /// Tokenizer options the index was built with, for callers that
+  /// pre-normalize keywords (e.g. the serving layer's cache keys).
+  const TokenizerOptions& tokenizer() const { return tokenizer_; }
 
   /// Renders the answer subtree at `id` when the index was built with
   /// persist_document (a `<prefix>.xml` next to the index files);
@@ -62,6 +69,9 @@ class DiskSearcher {
   DiskIndex* index_;
   TokenizerOptions tokenizer_;
   std::optional<Document> document_;
+  /// Guards the shared buffer pools and their attached stats pointer;
+  /// same rationale as XKSearch::disk_mutex_.
+  mutable std::mutex search_mutex_;
 };
 
 }  // namespace xksearch

@@ -1,6 +1,8 @@
 #ifndef XKSEARCH_ENGINE_SEARCH_TYPES_H_
 #define XKSEARCH_ENGINE_SEARCH_TYPES_H_
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -48,6 +50,29 @@ struct SearchOptions {
   /// least this ratio. The crossover in the paper's Figures 8-13 sits
   /// near equal frequencies, so a small ratio favors IL correctly.
   double auto_ratio_threshold = 8.0;
+
+  /// Memberwise equality, so SearchOptions can participate in cache keys
+  /// (the serving layer keys its result cache on keywords + options).
+  friend bool operator==(const SearchOptions&, const SearchOptions&) = default;
+};
+
+/// \brief Hash functor over every SearchOptions field, matching
+/// operator==. Suitable for unordered_map keys; any new option field must
+/// be added to both.
+struct SearchOptionsHash {
+  size_t operator()(const SearchOptions& o) const {
+    uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the fields.
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(static_cast<uint64_t>(o.algorithm));
+    mix(static_cast<uint64_t>(o.semantics));
+    mix(o.use_disk_index ? 1 : 0);
+    mix(static_cast<uint64_t>(o.block_size));
+    mix(std::bit_cast<uint64_t>(o.auto_ratio_threshold));
+    return static_cast<size_t>(h);
+  }
 };
 
 /// \brief Result of one keyword search.

@@ -87,7 +87,13 @@ Result<SearchResult> XKSearch::SearchStreaming(
 
   SearchResult result;
   PreparedQuery prepared;
+  // The disk path mutates shared buffer-pool state (LRU lists and the
+  // attached stats pointer); hold disk_mutex_ for the whole query so
+  // concurrent const callers stay race-free. The in-memory path below
+  // touches only per-query state and runs lock-free.
+  std::unique_lock<std::mutex> disk_lock(disk_mutex_, std::defer_lock);
   if (options.use_disk_index) {
+    disk_lock.lock();
     disk_->AttachStats(&result.stats);
     Result<PreparedQuery> p = PrepareQuery(*disk_, keywords,
                                            index_options_.tokenizer,

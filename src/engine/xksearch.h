@@ -2,6 +2,7 @@
 #define XKSEARCH_ENGINE_XKSEARCH_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +24,15 @@ namespace xksearch {
 
 /// \brief The XKSearch system (paper Figure 6): document + level table +
 /// inverted keyword lists + frequency table + query engine.
+///
+/// Concurrency contract: after Build*, the in-memory structures are
+/// immutable and every const member is safe to call from any number of
+/// threads without external locking (all per-query scratch state lives in
+/// the PreparedQuery built per call). The disk path shares one buffer
+/// pool (LRU bookkeeping + an attached stats pointer) across queries, so
+/// queries with use_disk_index are serialized internally on disk_mutex_;
+/// they remain safe, just not parallel. DiskIndexUpdater mutation is
+/// outside this contract and must not run concurrently with queries.
 class XKSearch {
  public:
   struct BuildOptions {
@@ -91,6 +101,9 @@ class XKSearch {
 
   const Document& document() const { return doc_; }
   const InvertedIndex& index() const { return index_; }
+  /// The options the index was built with (tokenizer normalization etc.);
+  /// callers that pre-normalize keywords (e.g. cache keys) must use these.
+  const IndexOptions& index_options() const { return index_options_; }
   /// nullptr unless built with build_disk_index.
   DiskIndex* disk_index() const { return disk_.get(); }
 
@@ -104,6 +117,10 @@ class XKSearch {
   InvertedIndex index_;
   IndexOptions index_options_;
   std::unique_ptr<DiskIndex> disk_;
+  /// Serializes disk-index queries: the buffer pool's LRU state and its
+  /// attached QueryStats pointer are shared mutable state under a const
+  /// Search, unlike the lock-free in-memory path.
+  mutable std::mutex disk_mutex_;
 };
 
 }  // namespace xksearch

@@ -1,0 +1,95 @@
+#ifndef XKSEARCH_SERVE_METRICS_H_
+#define XKSEARCH_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "serve/query_cache.h"
+
+namespace xksearch {
+namespace serve {
+
+/// \brief Lock-free log-bucketed latency histogram.
+///
+/// Bucket i counts samples in [2^(i-1), 2^i) nanoseconds, which gives
+/// < 100% relative error over the full ns..minutes range in 64 fixed
+/// buckets — standard practice for serving-side latency (exact per-sample
+/// storage cannot be shared across threads cheaply). Recording is one
+/// relaxed fetch_add; quantiles interpolate linearly inside the bucket.
+/// The same relaxed-memory-order argument as RelaxedCounter applies:
+/// histograms are tallies read at reporting time, not synchronization.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t nanos);
+
+  /// Point-in-time copy of the buckets, with derived statistics.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum_nanos = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    /// Approximate quantile (p in [0,1]) in nanoseconds; 0 when empty.
+    uint64_t PercentileNanos(double p) const;
+    double MeanNanos() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum_nanos) /
+                              static_cast<double>(count);
+    }
+  };
+  Snapshot TakeSnapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+/// \brief All counters the serving layer exports, incremented concurrently
+/// by submitters and workers (hence RelaxedCounter throughout).
+class MetricsRegistry {
+ public:
+  /// One per accepted Submit call (including ones later rejected by the
+  /// deadline check; excludes queue-full rejections).
+  RelaxedCounter requests;
+  /// Successful responses, from cache or engine.
+  RelaxedCounter completed;
+  /// Responses served straight from the result cache.
+  RelaxedCounter cache_hits;
+  /// Admission-control rejections (bounded queue full or stopped pool).
+  RelaxedCounter rejected;
+  /// Requests whose deadline passed while queued.
+  RelaxedCounter deadline_exceeded;
+  /// Engine-reported errors.
+  RelaxedCounter failed;
+
+  /// End-to-end latency of completed requests (both hit and miss paths).
+  LatencyHistogram request_latency;
+  /// Submit-to-worker-pickup time of dispatched requests (queueing delay).
+  LatencyHistogram queue_latency;
+
+  /// Engine operation counters aggregated over finished queries.
+  QueryStats engine_stats;
+
+  /// Instantaneous values sampled by the caller at report time.
+  struct Gauges {
+    size_t queue_depth = 0;
+    size_t workers = 0;
+    QueryCache::Stats cache;
+  };
+
+  /// Renders the whole registry as a human-readable text report.
+  std::string ReportText(const Gauges& gauges) const;
+};
+
+}  // namespace serve
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SERVE_METRICS_H_

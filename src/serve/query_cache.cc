@@ -1,0 +1,123 @@
+#include "serve/query_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace xksearch {
+namespace serve {
+
+namespace {
+
+size_t StringBytes(const std::string& s) {
+  // Small-string storage is part of the object; only spilled capacity is
+  // extra heap, approximated by the length plus container bookkeeping.
+  return sizeof(std::string) + (s.capacity() > sizeof(std::string) ? s.capacity() : 0);
+}
+
+size_t KeywordsBytes(const std::vector<std::string>& words) {
+  size_t total = sizeof(words);
+  for (const std::string& w : words) total += StringBytes(w);
+  return total;
+}
+
+}  // namespace
+
+QueryCache::QueryCache(const Options& options) {
+  const size_t shard_count = std::bit_ceil(std::max<size_t>(1, options.shards));
+  shard_mask_ = shard_count - 1;
+  shard_budget_bytes_ =
+      std::max<size_t>(1, options.capacity_bytes / shard_count);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+QueryCache::Shard& QueryCache::ShardFor(const QueryCacheKey& key) {
+  // Re-scramble the map hash so shard choice and bucket choice within a
+  // shard use different bits.
+  const uint64_t h = QueryCacheKeyHash()(key) * 0x9e3779b97f4a7c15ull;
+  return *shards_[(h >> 32) & shard_mask_];
+}
+
+std::optional<SearchResult> QueryCache::Lookup(const QueryCacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++hits_;
+  return it->second->result;
+}
+
+void QueryCache::Insert(const QueryCacheKey& key, const SearchResult& result) {
+  const size_t bytes = ApproxEntryBytes(key, result);
+  if (bytes > shard_budget_bytes_) {
+    ++oversize_rejects_;
+    return;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  shard.lru.push_front(Entry{key, result, bytes});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++insertions_;
+  while (shard.bytes > shard_budget_bytes_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    ++evictions_;
+  }
+}
+
+void QueryCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+    shard->bytes = 0;
+  }
+}
+
+QueryCache::Stats QueryCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.oversize_rejects = oversize_rejects_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+size_t QueryCache::ApproxEntryBytes(const QueryCacheKey& key,
+                                    const SearchResult& result) {
+  size_t total = sizeof(Entry);
+  total += KeywordsBytes(key.keywords);
+  total += KeywordsBytes(result.keywords);
+  total += sizeof(DeweyId) * result.nodes.capacity();
+  for (const DeweyId& id : result.nodes) {
+    total += id.components().capacity() * sizeof(uint32_t);
+  }
+  // The key is stored twice (list entry + map key) and the map adds a
+  // node/bucket per entry; fold both into a flat overhead.
+  total += KeywordsBytes(key.keywords) + 64;
+  return total;
+}
+
+}  // namespace serve
+}  // namespace xksearch

@@ -1,0 +1,141 @@
+#ifndef XKSEARCH_SERVE_QUERY_CACHE_H_
+#define XKSEARCH_SERVE_QUERY_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "engine/search_types.h"
+
+namespace xksearch {
+namespace serve {
+
+/// \brief Identity of a cacheable query: the normalized keyword multiset
+/// plus every option that can change the answer.
+///
+/// Callers (QueryService) canonicalize the keywords — tokenizer
+/// normalization, sort, dedup — before lookup, so "XML, Database" and
+/// "database xml" share one entry. The cache itself treats the vector
+/// verbatim.
+struct QueryCacheKey {
+  std::vector<std::string> keywords;
+  SearchOptions options;
+
+  friend bool operator==(const QueryCacheKey&, const QueryCacheKey&) = default;
+};
+
+struct QueryCacheKeyHash {
+  size_t operator()(const QueryCacheKey& key) const {
+    uint64_t h = SearchOptionsHash()(key.options);
+    for (const std::string& word : key.keywords) {
+      h ^= std::hash<std::string>()(word) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// \brief Sharded LRU cache of complete query results with a byte budget.
+///
+/// The paper's hot-cache experiments (Figures 8-10) show index lookup
+/// cost dominating SLCA computation; a result cache removes both for
+/// repeated queries, which real keyword workloads (Zipf-shaped) produce
+/// constantly. Sharding bounds lock contention: a key hashes to one shard
+/// and only that shard's mutex is taken. Each shard owns an equal slice
+/// of the byte budget and evicts from its own LRU tail, so one hot shard
+/// cannot starve the others.
+///
+/// Invalidation: the engines are immutable after build, so entries never
+/// go stale today; Clear() is the hook index updates will call (see
+/// DESIGN.md "Serving layer").
+class QueryCache {
+ public:
+  struct Options {
+    /// Number of independent shards; rounded up to a power of two.
+    size_t shards = 8;
+    /// Total budget across all shards; entries above a shard's slice are
+    /// never admitted.
+    size_t capacity_bytes = 8u << 20;
+  };
+
+  /// Counter snapshot. hits/misses/insertions/evictions are cumulative;
+  /// entries/bytes are current occupancy.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t oversize_rejects = 0;
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+
+    double HitRatio() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  explicit QueryCache(const Options& options);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Returns a copy of the cached result and refreshes its recency, or
+  /// nullopt on miss.
+  std::optional<SearchResult> Lookup(const QueryCacheKey& key);
+
+  /// Inserts (or replaces) the entry, then evicts from the shard's LRU
+  /// tail until the shard is back under budget. Entries larger than one
+  /// shard's whole budget are rejected.
+  void Insert(const QueryCacheKey& key, const SearchResult& result);
+
+  /// Drops every entry (the invalidation hook for future index updates).
+  void Clear();
+
+  Stats GetStats() const;
+
+  /// Heap-footprint estimate used against the byte budget: strings,
+  /// Dewey component vectors and per-entry bookkeeping overhead.
+  static size_t ApproxEntryBytes(const QueryCacheKey& key,
+                                 const SearchResult& result);
+
+ private:
+  struct Entry {
+    QueryCacheKey key;
+    SearchResult result;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<QueryCacheKey, std::list<Entry>::iterator,
+                       QueryCacheKeyHash>
+        map;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const QueryCacheKey& key);
+
+  size_t shard_mask_;
+  size_t shard_budget_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  RelaxedCounter hits_;
+  RelaxedCounter misses_;
+  RelaxedCounter insertions_;
+  RelaxedCounter evictions_;
+  RelaxedCounter oversize_rejects_;
+};
+
+}  // namespace serve
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SERVE_QUERY_CACHE_H_

@@ -1,0 +1,165 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "index/tokenizer.h"
+
+namespace xksearch {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t Nanos(Clock::duration d) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+}  // namespace
+
+QueryService::QueryService(const XKSearch* engine,
+                           const QueryServiceOptions& options)
+    : QueryService(engine, nullptr, options) {}
+
+QueryService::QueryService(const DiskSearcher* searcher,
+                           const QueryServiceOptions& options)
+    : QueryService(nullptr, searcher, options) {}
+
+QueryService::QueryService(const XKSearch* engine, const DiskSearcher* searcher,
+                           const QueryServiceOptions& options)
+    : engine_(engine),
+      searcher_(searcher),
+      options_(options),
+      cache_(options.cache),
+      pool_(options.pool) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  stopped_.store(true, std::memory_order_relaxed);
+  pool_.Stop(/*drain=*/true);
+}
+
+Result<SearchResult> QueryService::RunQuery(
+    const std::vector<std::string>& keywords,
+    const SearchOptions& options) const {
+  return engine_ != nullptr ? engine_->Search(keywords, options)
+                            : searcher_->Search(keywords, options);
+}
+
+QueryCacheKey QueryService::MakeCacheKey(
+    const std::vector<std::string>& keywords,
+    const SearchOptions& options) const {
+  const TokenizerOptions& tokenizer = engine_ != nullptr
+                                          ? engine_->index_options().tokenizer
+                                          : searcher_->tokenizer();
+  QueryCacheKey key;
+  key.options = options;
+  key.keywords.reserve(keywords.size());
+  for (const std::string& word : keywords) {
+    key.keywords.push_back(NormalizeKeyword(word, tokenizer));
+  }
+  // Keyword order never affects the answer (the engine reorders lists by
+  // frequency) and duplicate keywords contribute identical lists, so a
+  // sorted deduplicated key maximizes hit rate across textual variants.
+  std::sort(key.keywords.begin(), key.keywords.end());
+  key.keywords.erase(std::unique(key.keywords.begin(), key.keywords.end()),
+                     key.keywords.end());
+  return key;
+}
+
+std::future<Result<QueryResponse>> QueryService::Submit(
+    const std::vector<std::string>& keywords, const SearchOptions& options) {
+  return SubmitWithTimeout(keywords, options, options_.default_timeout);
+}
+
+std::future<Result<QueryResponse>> QueryService::SubmitWithTimeout(
+    const std::vector<std::string>& keywords, const SearchOptions& options,
+    std::chrono::milliseconds timeout) {
+  const Clock::time_point submitted = Clock::now();
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> future = promise->get_future();
+
+  if (stopped_.load(std::memory_order_relaxed)) {
+    ++metrics_.rejected;
+    promise->set_value(Status::Unavailable("query service is shut down"));
+    return future;
+  }
+
+  QueryCacheKey key;
+  if (options_.enable_cache) {
+    key = MakeCacheKey(keywords, options);
+    if (std::optional<SearchResult> hit = cache_.Lookup(key)) {
+      ++metrics_.requests;
+      ++metrics_.completed;
+      ++metrics_.cache_hits;
+      QueryResponse response;
+      response.result = std::move(*hit);
+      response.cache_hit = true;
+      response.latency = Clock::now() - submitted;
+      metrics_.request_latency.Record(Nanos(response.latency));
+      promise->set_value(std::move(response));
+      return future;
+    }
+  }
+
+  const Clock::time_point deadline = timeout.count() > 0
+                                         ? submitted + timeout
+                                         : Clock::time_point::max();
+  Status admitted = pool_.Submit([this, promise, keywords, options,
+                                  key = std::move(key), submitted, deadline] {
+    const Clock::time_point picked_up = Clock::now();
+    metrics_.queue_latency.Record(Nanos(picked_up - submitted));
+    if (picked_up >= deadline) {
+      ++metrics_.deadline_exceeded;
+      promise->set_value(
+          Status::DeadlineExceeded("request deadline passed while queued"));
+      return;
+    }
+    if (options_.synthetic_backend_latency.count() > 0) {
+      std::this_thread::sleep_for(options_.synthetic_backend_latency);
+    }
+    Result<SearchResult> result = RunQuery(keywords, options);
+    if (!result.ok()) {
+      ++metrics_.failed;
+      promise->set_value(result.status());
+      return;
+    }
+    metrics_.engine_stats += result->stats;
+    if (options_.enable_cache) cache_.Insert(key, *result);
+    ++metrics_.completed;
+    QueryResponse response;
+    response.result = result.MoveValueUnsafe();
+    response.cache_hit = false;
+    response.latency = Clock::now() - submitted;
+    metrics_.request_latency.Record(Nanos(response.latency));
+    promise->set_value(std::move(response));
+  });
+  if (!admitted.ok()) {
+    ++metrics_.rejected;
+    promise->set_value(std::move(admitted));
+    return future;
+  }
+  ++metrics_.requests;
+  return future;
+}
+
+Result<QueryResponse> QueryService::Search(
+    const std::vector<std::string>& keywords, const SearchOptions& options) {
+  return Submit(keywords, options).get();
+}
+
+std::string QueryService::MetricsReport() const {
+  MetricsRegistry::Gauges gauges;
+  gauges.queue_depth = pool_.queue_depth();
+  gauges.workers = pool_.workers();
+  gauges.cache = cache_.GetStats();
+  return metrics_.ReportText(gauges);
+}
+
+}  // namespace serve
+}  // namespace xksearch

@@ -1,0 +1,126 @@
+#ifndef XKSEARCH_SERVE_QUERY_SERVICE_H_
+#define XKSEARCH_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/disk_searcher.h"
+#include "engine/xksearch.h"
+#include "serve/metrics.h"
+#include "serve/query_cache.h"
+#include "serve/thread_pool.h"
+
+namespace xksearch {
+namespace serve {
+
+struct QueryServiceOptions {
+  ThreadPool::Options pool;
+  QueryCache::Options cache;
+  /// Disable to measure the raw engine (every request dispatches).
+  bool enable_cache = true;
+  /// Deadline applied to requests submitted without an explicit timeout;
+  /// zero means no deadline.
+  std::chrono::milliseconds default_timeout{0};
+  /// Load-generator aid: sleep this long in the worker before running
+  /// each cache-miss query, emulating a slower storage tier (cold-cache
+  /// disk stalls) without needing one. Zero (the default) measures the
+  /// real engine only; keep it zero outside load tests.
+  std::chrono::microseconds synthetic_backend_latency{0};
+};
+
+/// \brief One served query's payload.
+struct QueryResponse {
+  SearchResult result;
+  /// True when the response came from the result cache.
+  bool cache_hit = false;
+  /// End-to-end submit-to-completion time.
+  std::chrono::nanoseconds latency{0};
+};
+
+/// \brief The servable face of the engine: bounded-queue thread-pooled
+/// execution, a sharded result cache consulted before dispatch, deadlines,
+/// and a metrics registry.
+///
+/// Turns the single-caller XKSearch/DiskSearcher library into something a
+/// front end can push concurrent traffic at. Requests are admitted
+/// (kUnavailable when the queue is full — callers shed or retry), checked
+/// against the cache (hot queries complete on the submitting thread
+/// without touching the pool), and otherwise executed by the worker pool
+/// against the underlying engine, whose in-memory read path is lock-free
+/// for concurrent const callers.
+class QueryService {
+ public:
+  /// Serves from an in-memory (or hybrid) engine. `engine` is not owned
+  /// and must outlive the service.
+  QueryService(const XKSearch* engine, const QueryServiceOptions& options);
+  /// Serves from a persisted index without the source document.
+  QueryService(const DiskSearcher* searcher,
+               const QueryServiceOptions& options);
+  /// Drains outstanding requests, then stops the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Asynchronous submission. The returned future resolves to the
+  /// response, or to kUnavailable (queue full / shut down),
+  /// kDeadlineExceeded (deadline passed while queued), or the engine's
+  /// error. Rejections and cache hits resolve immediately.
+  std::future<Result<QueryResponse>> Submit(
+      const std::vector<std::string>& keywords,
+      const SearchOptions& options = {});
+
+  /// Submit with a per-request deadline overriding default_timeout.
+  std::future<Result<QueryResponse>> SubmitWithTimeout(
+      const std::vector<std::string>& keywords, const SearchOptions& options,
+      std::chrono::milliseconds timeout);
+
+  /// Synchronous convenience wrapper: Submit + wait.
+  Result<QueryResponse> Search(const std::vector<std::string>& keywords,
+                               const SearchOptions& options = {});
+
+  /// Runs queued requests to completion, stops the workers, and rejects
+  /// all later submissions. Idempotent.
+  void Shutdown();
+
+  /// Canonical cache key for a query: tokenizer-normalized, sorted,
+  /// deduplicated keywords (none of which changes the answer) + options.
+  QueryCacheKey MakeCacheKey(const std::vector<std::string>& keywords,
+                             const SearchOptions& options) const;
+
+  /// Drops all cached results (hook for future index mutation).
+  void InvalidateCache() { cache_.Clear(); }
+
+  const MetricsRegistry& metrics() const { return metrics_; }
+  QueryCache::Stats cache_stats() const { return cache_.GetStats(); }
+  size_t queue_depth() const { return pool_.queue_depth(); }
+
+  /// Text report of every counter, histogram and gauge.
+  std::string MetricsReport() const;
+
+ private:
+  QueryService(const XKSearch* engine, const DiskSearcher* searcher,
+               const QueryServiceOptions& options);
+
+  Result<SearchResult> RunQuery(const std::vector<std::string>& keywords,
+                                const SearchOptions& options) const;
+
+  const XKSearch* engine_;        // exactly one of engine_/searcher_ set
+  const DiskSearcher* searcher_;
+  QueryServiceOptions options_;
+  MetricsRegistry metrics_;
+  QueryCache cache_;
+  std::atomic<bool> stopped_{false};
+  // Last member: destroyed (joined) first, so in-flight tasks never see
+  // partially-destroyed cache/metrics.
+  ThreadPool pool_;
+};
+
+}  // namespace serve
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,75 @@
+#include "serve/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xksearch {
+namespace serve {
+
+ThreadPool::ThreadPool(const Options& options) : options_(options) {
+  options_.workers = std::max<size_t>(1, options_.workers);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Stop(/*drain=*/false); }
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::Unavailable("thread pool is stopped");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      return Status::Unavailable("request queue full");
+    }
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Stop(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      drain_on_stop_ = drain;
+    }
+    if (joined_) return;
+  }
+  not_empty_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  joined_ = true;
+  // Discarded tasks (non-drain stop) are destroyed without running.
+  queue_.clear();
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() || (stopping_ && !drain_on_stop_)) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    ++tasks_run_;
+  }
+}
+
+}  // namespace serve
+}  // namespace xksearch

@@ -1,0 +1,75 @@
+#ifndef XKSEARCH_SERVE_THREAD_POOL_H_
+#define XKSEARCH_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace xksearch {
+namespace serve {
+
+/// \brief Fixed-size worker pool with a bounded FIFO request queue.
+///
+/// Admission control is reject-on-full: Submit never blocks the caller;
+/// when the queue is at capacity (or the pool is stopping) it returns
+/// kUnavailable and the caller decides whether to shed or retry. This is
+/// the standard server-side overload posture — a bounded queue keeps tail
+/// latency bounded, and a typed Status lets the serving layer count
+/// rejections instead of silently queueing unbounded work.
+class ThreadPool {
+ public:
+  struct Options {
+    /// Number of worker threads (>= 1).
+    size_t workers = 4;
+    /// Maximum queued (not yet running) tasks before Submit rejects.
+    size_t queue_capacity = 256;
+  };
+
+  /// Starts the workers immediately.
+  explicit ThreadPool(const Options& options);
+  /// Equivalent to Stop(/*drain=*/false).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; kUnavailable when the queue is full or the pool is
+  /// stopped. Tasks must not throw.
+  Status Submit(std::function<void()> task);
+
+  /// Stops the pool and joins the workers. With `drain` the queued tasks
+  /// are executed first; without it they are discarded unrun. Idempotent;
+  /// the first call's drain mode wins.
+  void Stop(bool drain);
+
+  /// Queued (not yet running) tasks right now.
+  size_t queue_depth() const;
+  /// Total tasks whose execution finished.
+  uint64_t tasks_run() const { return tasks_run_; }
+  size_t workers() const { return options_.workers; }
+
+ private:
+  void WorkerLoop();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  bool drain_on_stop_ = false;
+  bool joined_ = false;
+  RelaxedCounter tasks_run_;
+};
+
+}  // namespace serve
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SERVE_THREAD_POOL_H_

@@ -68,12 +68,13 @@ Status ElcaStack(const std::vector<KeywordList*>& lists,
     }
   };
 
-  uint64_t* cmp = stats != nullptr ? &stats->dewey_comparisons : nullptr;
+  DeweyCmpCharge charge(stats);
   for (;;) {
     size_t min_idx = k;
     for (size_t i = 0; i < k; ++i) {
       if (!head_valid[i]) continue;
-      if (min_idx == k || heads[i].Compare(heads[min_idx], cmp) < 0) {
+      if (min_idx == k ||
+          heads[i].Compare(heads[min_idx], charge.slot()) < 0) {
         min_idx = i;
       }
     }

@@ -50,10 +50,10 @@ class EmptyIterator : public KeywordListIterator {
 
 size_t VectorKeywordList::LowerBound(const DeweyId& v) const {
   size_t lo = 0, hi = ids_->size();
-  uint64_t* cmp = stats_ != nullptr ? &stats_->dewey_comparisons : nullptr;
+  DeweyCmpCharge charge(stats_);
   while (lo < hi) {
     const size_t mid = (lo + hi) / 2;
-    if ((*ids_)[mid].Compare(v, cmp) < 0) {
+    if ((*ids_)[mid].Compare(v, charge.slot()) < 0) {
       lo = mid + 1;
     } else {
       hi = mid;

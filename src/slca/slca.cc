@@ -23,9 +23,8 @@ class EagerEmitter {
       candidate_ = x;
       have_candidate_ = true;
     } else {
-      uint64_t* cmp =
-          stats_ != nullptr ? &stats_->dewey_comparisons : nullptr;
-      const int order = x.Compare(candidate_, cmp);
+      DeweyCmpCharge charge(stats_);
+      const int order = x.Compare(candidate_, charge.slot());
       if (order > 0) {
         // Lemma 2: the candidate is confirmed unless x is its descendant.
         if (!candidate_.IsAncestorOf(x)) Confirm(candidate_);
@@ -102,8 +101,8 @@ class ScanMatcher {
   /// Computes slca({x}, S) for this list by scanning.
   Result<DeweyId> Step(const DeweyId& x) {
     if (stats_ != nullptr) stats_->match_ops += 2;  // one lm + one rm
-    uint64_t* cmp = stats_ != nullptr ? &stats_->dewey_comparisons : nullptr;
-    while (cur_valid_ && cur_.Compare(x, cmp) < 0) {
+    DeweyCmpCharge charge(stats_);
+    while (cur_valid_ && cur_.Compare(x, charge.slot()) < 0) {
       prev_ = cur_;
       prev_valid_ = true;
       cur_valid_ = iter_->Next(&cur_);
@@ -253,13 +252,14 @@ Status StackSlca(const std::vector<KeywordList*>& lists,
     }
   };
 
-  uint64_t* cmp = stats != nullptr ? &stats->dewey_comparisons : nullptr;
+  DeweyCmpCharge charge(stats);
   for (;;) {
     // Select the smallest head (k is tiny, linear selection beats a heap).
     size_t min_idx = k;
     for (size_t i = 0; i < k; ++i) {
       if (!head_valid[i]) continue;
-      if (min_idx == k || heads[i].Compare(heads[min_idx], cmp) < 0) {
+      if (min_idx == k ||
+          heads[i].Compare(heads[min_idx], charge.slot()) < 0) {
         min_idx = i;
       }
     }

@@ -1,7 +1,9 @@
 // The in-memory query path is read-only after build: a const XKSearch
-// can serve concurrent queries from many threads. (The disk path shares
-// a buffer pool and is documented single-threaded; these tests pin down
-// the supported contract.)
+// can serve concurrent queries from many threads. The disk path shares a
+// buffer pool and is serialized internally on a mutex, so it too is safe
+// (though not parallel) from many threads. These tests pin down that
+// contract, plus QueryService — the layer that multiplexes both paths
+// behind a thread pool and result cache.
 
 #include <atomic>
 #include <string>
@@ -11,6 +13,7 @@
 #include "engine/xksearch.h"
 #include "gen/dblp_generator.h"
 #include "gtest/gtest.h"
+#include "serve/query_service.h"
 #include "test_util.h"
 
 namespace xksearch {
@@ -118,6 +121,104 @@ TEST(ConcurrencyTest, ParallelSemantics) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelDiskQueriesAgree) {
+  DblpOptions gen;
+  gen.papers = 1500;
+  gen.seed = 42;
+  gen.plants = {{"alpha", 15}, {"carol", 1200}};
+  Result<Document> doc = GenerateDblp(gen);
+  ASSERT_TRUE(doc.ok());
+  XKSearch::BuildOptions build;
+  build.build_disk_index = true;
+  build.disk.in_memory = true;
+  Result<std::unique_ptr<XKSearch>> built =
+      XKSearch::BuildFromDocument(std::move(*doc), build);
+  ASSERT_TRUE(built.ok());
+  const std::unique_ptr<XKSearch>& system = *built;
+
+  SearchOptions options;
+  options.use_disk_index = true;
+  Result<SearchResult> expected = system->Search({"alpha", "carol"}, options);
+  ASSERT_TRUE(expected.ok());
+
+  // Disk queries mutate shared buffer-pool state; the engine serializes
+  // them internally, so concurrent const callers must still agree.
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&]() {
+      for (int r = 0; r < 20; ++r) {
+        Result<SearchResult> got =
+            system->Search({"alpha", "carol"}, options);
+        if (!got.ok() || Strings(got->nodes) != Strings(expected->nodes)) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ConcurrencyTest, QueryServiceMixedHotColdHammer) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  // Hot queries repeat across every thread (cache-hit path); cold ones
+  // are thread-unique variations that keep missing and exercising the
+  // pool + engine concurrently with the hits.
+  const std::vector<std::vector<std::string>> hot = {
+      {"alpha", "carol"}, {"bravo", "carol"}, {"alpha", "bravo"},
+  };
+  std::vector<std::vector<std::string>> hot_expected;
+  for (const auto& q : hot) {
+    Result<SearchResult> r = system->Search(q);
+    ASSERT_TRUE(r.ok());
+    hot_expected.push_back(Strings(r->nodes));
+  }
+
+  serve::QueryServiceOptions options;
+  options.pool.workers = 4;
+  options.pool.queue_capacity = 4096;
+  serve::QueryService service(system.get(), options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 30;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int r = 0; r < kRounds; ++r) {
+        if (r % 2 == 0) {
+          const size_t qi = static_cast<size_t>(t + r) % hot.size();
+          Result<serve::QueryResponse> got = service.Search(hot[qi]);
+          if (!got.ok() ||
+              Strings(got->result.nodes) != hot_expected[qi]) {
+            ++bad;
+          }
+        } else {
+          // Cold: distinct block_size values defeat the cache key, so the
+          // query always dispatches (answers must be identical anyway).
+          SearchOptions cold;
+          cold.block_size = 1 + static_cast<size_t>(t * kRounds + r);
+          Result<serve::QueryResponse> got =
+              service.Search(hot[0], cold);
+          if (!got.ok() ||
+              Strings(got->result.nodes) != hot_expected[0]) {
+            ++bad;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(service.metrics().cache_hits, 0u);
+  const auto cache = service.cache_stats();
+  EXPECT_GT(cache.misses, 0u);
+  EXPECT_EQ(service.metrics().failed, 0u);
+  EXPECT_EQ(service.metrics().rejected, 0u);
 }
 
 }  // namespace

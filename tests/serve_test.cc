@@ -1,0 +1,443 @@
+// The serving layer: thread pool admission/lifecycle, the sharded result
+// cache, deadlines, and the QueryService facade under concurrency.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/xksearch.h"
+#include "gen/dblp_generator.h"
+#include "gtest/gtest.h"
+#include "serve/metrics.h"
+#include "serve/query_cache.h"
+#include "serve/query_service.h"
+#include "serve/thread_pool.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace serve {
+namespace {
+
+using testing_util::Strings;
+
+std::unique_ptr<XKSearch> BuildCorpus() {
+  DblpOptions gen;
+  gen.papers = 600;
+  gen.seed = 7;
+  gen.plants = {{"alpha", 8}, {"bravo", 60}, {"carol", 400}};
+  Result<Document> doc = GenerateDblp(gen);
+  EXPECT_TRUE(doc.ok());
+  Result<std::unique_ptr<XKSearch>> system =
+      XKSearch::BuildFromDocument(std::move(*doc));
+  EXPECT_TRUE(system.ok());
+  return std::move(*system);
+}
+
+/// Blocks pool workers until Release(), to build deterministic queue
+/// states in the tests below.
+class Gate {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool::Options options;
+  options.workers = 3;
+  options.queue_capacity = 128;
+  ThreadPool pool(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ++ran; }).ok());
+  }
+  pool.Stop(/*drain=*/true);
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(pool.tasks_run(), 100u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, RejectsWhenQueueFull) {
+  ThreadPool::Options options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  ThreadPool pool(options);
+  Gate gate;
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&] { gate.Wait(); ++ran; }).ok());
+  // The worker is blocked; the queue holds at most 2 more.
+  // Give the worker a moment to dequeue the gate task, so exactly the
+  // queued tasks count against capacity.
+  while (pool.queue_depth() > 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.Submit([&] { ++ran; }).ok());
+  ASSERT_TRUE(pool.Submit([&] { ++ran; }).ok());
+  const Status rejected = pool.Submit([&] { ++ran; });
+  EXPECT_TRUE(rejected.IsUnavailable()) << rejected.ToString();
+  gate.Release();
+  pool.Stop(/*drain=*/true);
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, StopWithoutDrainDiscardsQueuedTasks) {
+  ThreadPool::Options options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  ThreadPool pool(options);
+  Gate gate;
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&] { gate.Wait(); ++ran; }).ok());
+  while (pool.queue_depth() > 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.Submit([&] { ++ran; }).ok());
+  ASSERT_TRUE(pool.Submit([&] { ++ran; }).ok());
+  std::thread stopper([&] { pool.Stop(/*drain=*/false); });
+  gate.Release();
+  stopper.join();
+  // Only the in-flight gate task ran; the queued two were discarded.
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_TRUE(pool.Submit([&] { ++ran; }).IsUnavailable());
+}
+
+TEST(StatusTest, ServingCodes) {
+  const Status unavailable = Status::Unavailable("queue full");
+  EXPECT_TRUE(unavailable.IsUnavailable());
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: queue full");
+  const Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_EQ(deadline.ToString(), "Deadline exceeded: too slow");
+}
+
+TEST(SearchOptionsTest, EqualityAndHashCoverEveryField) {
+  const SearchOptions base;
+  SearchOptions other = base;
+  EXPECT_TRUE(base == other);
+  EXPECT_EQ(SearchOptionsHash()(base), SearchOptionsHash()(other));
+
+  const auto differs = [&base](SearchOptions changed) {
+    EXPECT_FALSE(base == changed);
+    EXPECT_NE(SearchOptionsHash()(base), SearchOptionsHash()(changed));
+  };
+  other = base;
+  other.algorithm = AlgorithmChoice::kStack;
+  differs(other);
+  other = base;
+  other.semantics = Semantics::kElca;
+  differs(other);
+  other = base;
+  other.use_disk_index = true;
+  differs(other);
+  other = base;
+  other.block_size = 32;
+  differs(other);
+  other = base;
+  other.auto_ratio_threshold = 2.0;
+  differs(other);
+}
+
+SearchResult MakeResult(std::vector<DeweyId> nodes) {
+  SearchResult result;
+  result.nodes = std::move(nodes);
+  result.algorithm = SlcaAlgorithm::kIndexedLookupEager;
+  return result;
+}
+
+TEST(QueryCacheTest, HitMissAndLruEviction) {
+  QueryCache::Options options;
+  options.shards = 1;  // deterministic eviction order
+  const QueryCacheKey key_a{{"alpha"}, SearchOptions()};
+  const SearchResult value = MakeResult({DeweyId({0, 1}), DeweyId({0, 2})});
+  // Budget for roughly three entries of this shape.
+  options.capacity_bytes = 3 * QueryCache::ApproxEntryBytes(key_a, value) + 64;
+  QueryCache cache(options);
+
+  EXPECT_FALSE(cache.Lookup(key_a).has_value());
+  cache.Insert(key_a, value);
+  std::optional<SearchResult> hit = cache.Lookup(key_a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(Strings(hit->nodes), Strings(value.nodes));
+
+  QueryCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+
+  // Fill past budget; key_a stays hot via the lookup above plus one more
+  // touch, so the LRU tail (the oldest untouched key) is evicted first.
+  for (int i = 0; i < 4; ++i) {
+    cache.Insert(QueryCacheKey{{"filler" + std::to_string(i)}, SearchOptions()},
+                 value);
+    (void)cache.Lookup(key_a);
+  }
+  stats = cache.GetStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_TRUE(cache.Lookup(key_a).has_value());
+
+  cache.Clear();
+  stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_FALSE(cache.Lookup(key_a).has_value());
+}
+
+TEST(QueryCacheTest, RejectsEntriesAboveShardBudget) {
+  QueryCache::Options options;
+  options.shards = 1;
+  options.capacity_bytes = 1;
+  QueryCache cache(options);
+  cache.Insert(QueryCacheKey{{"alpha"}, SearchOptions()},
+               MakeResult({DeweyId({0, 1})}));
+  const QueryCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.oversize_rejects, 1u);
+}
+
+TEST(QueryCacheTest, OptionsDistinguishEntries) {
+  QueryCache cache(QueryCache::Options{});
+  SearchOptions slca;
+  SearchOptions elca;
+  elca.semantics = Semantics::kElca;
+  cache.Insert(QueryCacheKey{{"alpha"}, slca}, MakeResult({DeweyId({0, 1})}));
+  EXPECT_TRUE(cache.Lookup(QueryCacheKey{{"alpha"}, slca}).has_value());
+  EXPECT_FALSE(cache.Lookup(QueryCacheKey{{"alpha"}, elca}).has_value());
+}
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndBucketed) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 900; ++i) histogram.Record(1000);     // ~1us
+  for (int i = 0; i < 100; ++i) histogram.Record(1000000);  // ~1ms
+  const LatencyHistogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  const uint64_t p50 = snap.PercentileNanos(0.50);
+  const uint64_t p99 = snap.PercentileNanos(0.99);
+  // Log buckets: 1000ns lands in [512, 1024), 1e6 in [524288, 1048576).
+  EXPECT_GE(p50, 512u);
+  EXPECT_LT(p50, 1024u);
+  EXPECT_GE(p99, 524288u);
+  EXPECT_LT(p99, 1048576u);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(QueryServiceTest, CacheKeyCanonicalizesKeywords) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  QueryService service(system.get(), QueryServiceOptions{});
+  const QueryCacheKey a =
+      service.MakeCacheKey({"Alpha", "BRAVO"}, SearchOptions());
+  const QueryCacheKey b =
+      service.MakeCacheKey({"bravo", "alpha", "alpha"}, SearchOptions());
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(QueryCacheKeyHash()(a), QueryCacheKeyHash()(b));
+}
+
+TEST(QueryServiceTest, CacheHitMatchesEngineAndCounts) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  Result<SearchResult> direct = system->Search({"alpha", "carol"});
+  ASSERT_TRUE(direct.ok());
+
+  QueryServiceOptions options;
+  options.pool.workers = 2;
+  QueryService service(system.get(), options);
+
+  Result<QueryResponse> first = service.Search({"alpha", "carol"});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->cache_hit);
+  EXPECT_EQ(Strings(first->result.nodes), Strings(direct->nodes));
+
+  Result<QueryResponse> second = service.Search({"carol", "alpha"});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(Strings(second->result.nodes), Strings(direct->nodes));
+
+  EXPECT_EQ(service.metrics().requests, 2u);
+  EXPECT_EQ(service.metrics().completed, 2u);
+  EXPECT_EQ(service.metrics().cache_hits, 1u);
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+  EXPECT_EQ(service.cache_stats().insertions, 1u);
+}
+
+TEST(QueryServiceTest, DeadlineExpiresWhileQueued) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  QueryServiceOptions options;
+  options.pool.workers = 1;
+  options.enable_cache = false;
+  // The single worker sleeps 50ms per request, so the second request's
+  // 1ms deadline is long gone when it is picked up.
+  options.synthetic_backend_latency = std::chrono::microseconds(50000);
+  QueryService service(system.get(), options);
+
+  std::future<Result<QueryResponse>> blocker =
+      service.Submit({"alpha"}, SearchOptions());
+  std::future<Result<QueryResponse>> doomed = service.SubmitWithTimeout(
+      {"carol"}, SearchOptions(), std::chrono::milliseconds(1));
+
+  const Result<QueryResponse> blocked = blocker.get();
+  EXPECT_TRUE(blocked.ok()) << blocked.status().ToString();
+  const Result<QueryResponse> expired = doomed.get();
+  ASSERT_FALSE(expired.ok());
+  EXPECT_TRUE(expired.status().IsDeadlineExceeded())
+      << expired.status().ToString();
+  EXPECT_EQ(service.metrics().deadline_exceeded, 1u);
+}
+
+TEST(QueryServiceTest, ShedsLoadWhenQueueFull) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  QueryServiceOptions options;
+  options.pool.workers = 1;
+  options.pool.queue_capacity = 1;
+  options.enable_cache = false;
+  options.synthetic_backend_latency = std::chrono::microseconds(20000);
+  QueryService service(system.get(), options);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.Submit({"alpha"}, SearchOptions()));
+  }
+  int ok = 0;
+  int rejected = 0;
+  for (auto& future : futures) {
+    const Result<QueryResponse> response = future.get();
+    if (response.ok()) {
+      ++ok;
+    } else {
+      EXPECT_TRUE(response.status().IsUnavailable())
+          << response.status().ToString();
+      ++rejected;
+    }
+  }
+  // 1 in flight + 1 queued can succeed; with 6 rapid submissions at least
+  // one must have been shed.
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(rejected, 1);
+  EXPECT_EQ(static_cast<uint64_t>(service.metrics().rejected),
+            static_cast<uint64_t>(rejected));
+}
+
+TEST(QueryServiceTest, RejectsAfterShutdown) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  QueryService service(system.get(), QueryServiceOptions{});
+  service.Shutdown();
+  const Result<QueryResponse> response = service.Search({"alpha"});
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsUnavailable());
+}
+
+TEST(QueryServiceTest, DeterministicUnderConcurrentSubmitters) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const std::vector<std::vector<std::string>> queries = {
+      {"alpha", "carol"}, {"bravo", "carol"}, {"alpha", "bravo", "carol"},
+      {"alpha"},          {"carol"},
+  };
+  std::vector<std::vector<std::string>> expected;
+  for (const auto& query : queries) {
+    Result<SearchResult> direct = system->Search(query);
+    ASSERT_TRUE(direct.ok());
+    expected.push_back(Strings(direct->nodes));
+  }
+
+  QueryServiceOptions options;
+  options.pool.workers = 4;
+  options.pool.queue_capacity = 4096;
+  QueryService service(system.get(), options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const size_t qi = static_cast<size_t>(t + r) % queries.size();
+        Result<QueryResponse> response = service.Search(queries[qi]);
+        if (!response.ok() ||
+            Strings(response->result.nodes) != expected[qi]) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(service.metrics().requests, uint64_t{kThreads * kRounds});
+  EXPECT_EQ(service.metrics().completed, uint64_t{kThreads * kRounds});
+  // 5 distinct canonical queries; in the worst case every thread misses
+  // each query once before its first insertion lands.
+  EXPECT_GE(service.metrics().cache_hits,
+            uint64_t{kThreads * kRounds - kThreads * 5});
+}
+
+TEST(QueryServiceTest, MetricsReportRendersEverySection) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  QueryService service(system.get(), QueryServiceOptions{});
+  ASSERT_TRUE(service.Search({"alpha", "bravo"}).ok());
+  ASSERT_TRUE(service.Search({"alpha", "bravo"}).ok());
+  const std::string report = service.MetricsReport();
+  for (const char* needle :
+       {"requests:", "completed:", "cache_hits:", "rejected:", "latency_us:",
+        "queue_wait_us:", "queue_depth:", "cache:", "hit_ratio=", "engine:",
+        "match_ops="}) {
+    EXPECT_NE(report.find(needle), std::string::npos)
+        << "missing \"" << needle << "\" in:\n"
+        << report;
+  }
+}
+
+TEST(QueryServiceTest, ServesDiskSearcherBackend) {
+  DblpOptions gen;
+  gen.papers = 300;
+  gen.seed = 11;
+  gen.plants = {{"alpha", 6}, {"carol", 200}};
+  Result<Document> doc = GenerateDblp(gen);
+  ASSERT_TRUE(doc.ok());
+  XKSearch::BuildOptions build;
+  build.build_disk_index = true;
+  build.disk.in_memory = true;
+  Result<std::unique_ptr<XKSearch>> system =
+      XKSearch::BuildFromDocument(std::move(*doc), build);
+  ASSERT_TRUE(system.ok());
+  DiskSearcher searcher((*system)->disk_index(),
+                        (*system)->index_options().tokenizer);
+
+  Result<SearchResult> direct = searcher.Search({"alpha", "carol"});
+  ASSERT_TRUE(direct.ok());
+
+  QueryServiceOptions options;
+  options.pool.workers = 4;
+  QueryService service(&searcher, options);
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < 20; ++r) {
+        Result<QueryResponse> response = service.Search({"alpha", "carol"});
+        if (!response.ok() ||
+            Strings(response->result.nodes) != Strings(direct->nodes)) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace xksearch

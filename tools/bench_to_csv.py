@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
-"""Converts the google-benchmark console output recorded in
-bench_output.txt into one CSV per experiment, ready for plotting.
+"""Converts benchmark output recorded in bench_output.txt into one CSV
+per experiment, ready for plotting.
 
 Usage: tools/bench_to_csv.py [bench_output.txt] [out_dir]
 
-Each line like
+Two line formats are understood and may be mixed in one file:
+
+google-benchmark console lines like
   RunFig8/IndexedLookup/10/100000/min_time:0.100  0.84 ms  ...  k=v ...
-becomes a CSV row
+become a CSV row
   series,arg0,arg1,time_ms,<counter columns...>
 in out_dir/RunFig8.csv.
+
+JSON lines (as emitted by bench_serve_throughput) like
+  {"bench":"serve_throughput","workers":8,"qps":51234.0,...}
+become one row per line in out_dir/serve_throughput.csv, with every
+scalar field except "bench" as a column.
 """
 
 import collections
 import csv
+import json
 import os
 import re
 import sys
@@ -42,7 +50,20 @@ def main():
     tables = collections.defaultdict(list)
     with open(src) as f:
         for line in f:
-            m = LINE.match(line.strip())
+            line = line.strip()
+            if line.startswith("{"):
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                bench = obj.pop("bench", None)
+                if bench is None or not isinstance(obj, dict):
+                    continue
+                tables[bench].append(
+                    {k: v for k, v in obj.items()
+                     if isinstance(v, (int, float, str, bool))})
+                continue
+            m = LINE.match(line)
             if not m:
                 continue
             row = {
