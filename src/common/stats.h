@@ -75,6 +75,10 @@ struct QueryStats {
   RelaxedCounter page_reads = 0;
   /// Buffer-pool hits (satisfied from cache).
   RelaxedCounter page_hits = 0;
+  /// Pages loaded speculatively by leaf readahead on this query's behalf.
+  /// Kept separate from page_reads so the paper's on-demand disk-access
+  /// counts stay comparable whether or not readahead is enabled.
+  RelaxedCounter readahead_reads = 0;
   /// SLCA/LCA results produced.
   RelaxedCounter results = 0;
 
@@ -87,6 +91,7 @@ struct QueryStats {
     postings_read += o.postings_read;
     page_reads += o.page_reads;
     page_hits += o.page_hits;
+    readahead_reads += o.readahead_reads;
     results += o.results;
     return *this;
   }

@@ -55,15 +55,11 @@ Result<SearchResult> DiskSearcher::SearchStreaming(
     const std::vector<std::string>& keywords, const SearchOptions& options,
     const ResultCallback& emit) const {
   SearchResult result;
-  // Disk queries mutate shared buffer-pool state under const; serialize.
-  std::lock_guard<std::mutex> lock(search_mutex_);
-  index_->AttachStats(&result.stats);
+  // No locking: the sharded buffer pools are thread-safe, and every
+  // page access below is charged to this query's own stats object.
   Result<PreparedQuery> prepared =
       PrepareQuery(*index_, keywords, tokenizer_, &result.stats);
-  if (!prepared.ok()) {
-    index_->AttachStats(nullptr);
-    return prepared.status();
-  }
+  if (!prepared.ok()) return prepared.status();
   result.keywords = prepared->keywords;
 
   result.algorithm = ResolveAlgorithmChoice(options, prepared->min_frequency,
@@ -87,7 +83,6 @@ Result<SearchResult> DiskSearcher::SearchStreaming(
         break;
     }
   }
-  index_->AttachStats(nullptr);
   XKS_RETURN_NOT_OK(status);
   return result;
 }

@@ -2,7 +2,6 @@
 #define XKSEARCH_ENGINE_DISK_SEARCHER_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,8 +37,9 @@ class DiskSearcher {
 
   /// Same semantics as XKSearch::Search, always against the disk index.
   /// `options.use_disk_index` is implied; snippets are unavailable here.
-  /// Safe to call from multiple threads: queries are serialized
-  /// internally (the underlying buffer pools are single-threaded).
+  /// Safe to call from multiple threads, and queries run fully in
+  /// parallel: the underlying buffer pools are sharded and thread-safe,
+  /// and each query tallies disk accesses into its own result stats.
   Result<SearchResult> Search(const std::vector<std::string>& keywords,
                               const SearchOptions& options = {}) const;
 
@@ -69,9 +69,6 @@ class DiskSearcher {
   DiskIndex* index_;
   TokenizerOptions tokenizer_;
   std::optional<Document> document_;
-  /// Guards the shared buffer pools and their attached stats pointer;
-  /// same rationale as XKSearch::disk_mutex_.
-  mutable std::mutex search_mutex_;
 };
 
 }  // namespace xksearch

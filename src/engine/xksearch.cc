@@ -87,22 +87,14 @@ Result<SearchResult> XKSearch::SearchStreaming(
 
   SearchResult result;
   PreparedQuery prepared;
-  // The disk path mutates shared buffer-pool state (LRU lists and the
-  // attached stats pointer); hold disk_mutex_ for the whole query so
-  // concurrent const callers stay race-free. The in-memory path below
-  // touches only per-query state and runs lock-free.
-  std::unique_lock<std::mutex> disk_lock(disk_mutex_, std::defer_lock);
+  // Both paths are lock-free per query: the in-memory structures are
+  // immutable, and the disk path's sharded buffer pool charges each
+  // page access to this query's stats object.
   if (options.use_disk_index) {
-    disk_lock.lock();
-    disk_->AttachStats(&result.stats);
-    Result<PreparedQuery> p = PrepareQuery(*disk_, keywords,
-                                           index_options_.tokenizer,
-                                           &result.stats);
-    if (!p.ok()) {
-      disk_->AttachStats(nullptr);
-      return p.status();
-    }
-    prepared = p.MoveValueUnsafe();
+    XKS_ASSIGN_OR_RETURN(prepared,
+                         PrepareQuery(*disk_, keywords,
+                                      index_options_.tokenizer,
+                                      &result.stats));
   } else {
     XKS_ASSIGN_OR_RETURN(prepared,
                          PrepareQuery(index_, keywords,
@@ -132,7 +124,6 @@ Result<SearchResult> XKSearch::SearchStreaming(
         break;
     }
   }
-  if (options.use_disk_index) disk_->AttachStats(nullptr);
   XKS_RETURN_NOT_OK(status);
   return result;
 }

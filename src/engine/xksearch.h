@@ -2,7 +2,6 @@
 #define XKSEARCH_ENGINE_XKSEARCH_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,11 +27,11 @@ namespace xksearch {
 /// Concurrency contract: after Build*, the in-memory structures are
 /// immutable and every const member is safe to call from any number of
 /// threads without external locking (all per-query scratch state lives in
-/// the PreparedQuery built per call). The disk path shares one buffer
-/// pool (LRU bookkeeping + an attached stats pointer) across queries, so
-/// queries with use_disk_index are serialized internally on disk_mutex_;
-/// they remain safe, just not parallel. DiskIndexUpdater mutation is
-/// outside this contract and must not run concurrently with queries.
+/// the PreparedQuery built per call). This includes the disk path: the
+/// buffer pools are sharded and thread-safe, and every query charges its
+/// disk accesses to its own QueryStats, so use_disk_index queries run
+/// fully in parallel. DiskIndexUpdater mutation is outside this contract
+/// and must not run concurrently with queries.
 class XKSearch {
  public:
   struct BuildOptions {
@@ -117,10 +116,6 @@ class XKSearch {
   InvertedIndex index_;
   IndexOptions index_options_;
   std::unique_ptr<DiskIndex> disk_;
-  /// Serializes disk-index queries: the buffer pool's LRU state and its
-  /// attached QueryStats pointer are shared mutable state under a const
-  /// Search, unlike the lock-free in-memory path.
-  mutable std::mutex disk_mutex_;
 };
 
 }  // namespace xksearch

@@ -79,6 +79,15 @@ std::string MetricsRegistry::ReportText(const Gauges& gauges) const {
      << " misses=" << gauges.cache.misses
      << " evictions=" << gauges.cache.evictions
      << " hit_ratio=" << gauges.cache.HitRatio() << "\n";
+  auto pool_line = [&os](const char* name, const PoolGauges& pool) {
+    if (!pool.present) return;
+    os << name << " hits=" << pool.hits << " misses=" << pool.misses
+       << " readaheads=" << pool.readaheads
+       << " resident=" << pool.resident << "/" << pool.capacity
+       << " hit_ratio=" << pool.HitRatio() << "\n";
+  };
+  pool_line("il_pool:           ", gauges.il_pool);
+  pool_line("scan_pool:         ", gauges.scan_pool);
   os << "engine:            " << engine_stats.ToString() << "\n";
   return os.str();
 }

@@ -78,11 +78,32 @@ class MetricsRegistry {
   /// Engine operation counters aggregated over finished queries.
   QueryStats engine_stats;
 
+  /// Point-in-time totals of one disk-index buffer pool (the counters
+  /// are the pool's relaxed atomics, sampled at report time).
+  struct PoolGauges {
+    bool present = false;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t readaheads = 0;
+    size_t resident = 0;
+    size_t capacity = 0;
+    double HitRatio() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
   /// Instantaneous values sampled by the caller at report time.
   struct Gauges {
     size_t queue_depth = 0;
     size_t workers = 0;
     QueryCache::Stats cache;
+    /// Disk-index buffer pools; present=false when the served engine has
+    /// no disk index.
+    PoolGauges il_pool;
+    PoolGauges scan_pool;
   };
 
   /// Renders the whole registry as a human-readable text report.

@@ -158,6 +158,22 @@ std::string QueryService::MetricsReport() const {
   gauges.queue_depth = pool_.queue_depth();
   gauges.workers = pool_.workers();
   gauges.cache = cache_.GetStats();
+  const DiskIndex* disk =
+      engine_ != nullptr ? engine_->disk_index() : searcher_->index();
+  if (disk != nullptr) {
+    auto sample = [](const BufferPool& pool) {
+      MetricsRegistry::PoolGauges g;
+      g.present = true;
+      g.hits = pool.total_hits();
+      g.misses = pool.total_misses();
+      g.readaheads = pool.total_readaheads();
+      g.resident = pool.resident();
+      g.capacity = pool.capacity();
+      return g;
+    };
+    gauges.il_pool = sample(*disk->il_pool());
+    gauges.scan_pool = sample(*disk->scan_pool());
+  }
   return metrics_.ReportText(gauges);
 }
 

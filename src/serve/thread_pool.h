@@ -51,6 +51,11 @@ class ThreadPool {
 
   /// Queued (not yet running) tasks right now.
   size_t queue_depth() const;
+  /// True once Stop has begun; all further Submit calls are rejected.
+  bool stopping() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopping_;
+  }
   /// Total tasks whose execution finished.
   uint64_t tasks_run() const { return tasks_run_; }
   size_t workers() const { return options_.workers; }

@@ -215,13 +215,14 @@ Result<BPlusTree> BPlusTree::Open(BufferPool* pool) {
                    std::move(metadata));
 }
 
-Result<PageId> BPlusTree::FindLeaf(std::string_view key) const {
+Result<PageId> BPlusTree::FindLeaf(std::string_view key,
+                                   QueryStats* stats) const {
   if (root_ == kInvalidPage) {
     return Status::NotFound("tree is empty");
   }
   PageId cur = root_;
   for (uint32_t level = height_; level > 1; --level) {
-    XKS_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(cur));
+    XKS_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(cur, stats));
     NodeView node(ref.page());
     if (node.IsLeaf()) {
       return Status::Corruption("unexpected leaf above leaf level");
@@ -231,8 +232,10 @@ Result<PageId> BPlusTree::FindLeaf(std::string_view key) const {
   return cur;
 }
 
-Result<std::string> BPlusTree::Get(std::string_view key) const {
+Result<std::string> BPlusTree::Get(std::string_view key,
+                                   QueryStats* stats) const {
   Cursor cursor(this);
+  cursor.set_stats(stats);
   XKS_RETURN_NOT_OK(cursor.Seek(key));
   if (!cursor.Valid() || CompareBytes(cursor.key(), key) != 0) {
     return Status::NotFound("key not present");
@@ -245,7 +248,7 @@ Status BPlusTree::Cursor::LoadLeaf(PageId leaf) {
     Invalidate();
     return Status::OK();
   }
-  XKS_ASSIGN_OR_RETURN(PageRef ref, tree_->pool_->Fetch(leaf));
+  XKS_ASSIGN_OR_RETURN(PageRef ref, tree_->pool_->Fetch(leaf, stats_));
   leaf_ref_ = std::move(ref);
   leaf_ = leaf;
   slot_count_ = NodeView(leaf_ref_.page()).count();
@@ -266,7 +269,7 @@ Status BPlusTree::Cursor::PositionAt(size_t slot) {
 Status BPlusTree::Cursor::Seek(std::string_view key) {
   Invalidate();
   if (tree_->root_ == kInvalidPage) return Status::OK();
-  XKS_ASSIGN_OR_RETURN(PageId leaf, tree_->FindLeaf(key));
+  XKS_ASSIGN_OR_RETURN(PageId leaf, tree_->FindLeaf(key, stats_));
   XKS_RETURN_NOT_OK(LoadLeaf(leaf));
   NodeView node(leaf_ref_.page());
   size_t slot = node.LowerBound(key);
@@ -286,7 +289,7 @@ Status BPlusTree::Cursor::Seek(std::string_view key) {
 Status BPlusTree::Cursor::SeekForPrev(std::string_view key) {
   Invalidate();
   if (tree_->root_ == kInvalidPage) return Status::OK();
-  XKS_ASSIGN_OR_RETURN(PageId leaf, tree_->FindLeaf(key));
+  XKS_ASSIGN_OR_RETURN(PageId leaf, tree_->FindLeaf(key, stats_));
   XKS_RETURN_NOT_OK(LoadLeaf(leaf));
   NodeView node(leaf_ref_.page());
   const size_t ub = node.UpperBound(key);
@@ -316,7 +319,7 @@ Status BPlusTree::Cursor::SeekToLast() {
   if (tree_->root_ == kInvalidPage) return Status::OK();
   PageId cur = tree_->root_;
   for (uint32_t level = tree_->height_; level > 1; --level) {
-    XKS_ASSIGN_OR_RETURN(PageRef ref, tree_->pool_->Fetch(cur));
+    XKS_ASSIGN_OR_RETURN(PageRef ref, tree_->pool_->Fetch(cur, stats_));
     NodeView node(ref.page());
     cur = node.Child(node.count());
   }
@@ -332,6 +335,13 @@ Status BPlusTree::Cursor::Next() {
   assert(valid_);
   if (slot_ + 1 < slot_count_) return PositionAt(slot_ + 1);
   const PageId next = NodeView(leaf_ref_.page()).link_a();
+  if (readahead_ > 0 && next != kInvalidPage) {
+    // Forward scan crossing a leaf boundary: speculatively pull in the
+    // pages after the one we are about to read. Bulk-loaded leaves are
+    // laid out almost contiguously, so next+1..next+K are (mostly) the
+    // upcoming leaves of this scan.
+    tree_->pool_->Readahead(next + 1, readahead_, stats_);
+  }
   XKS_RETURN_NOT_OK(LoadLeaf(next));
   if (leaf_ref_.valid() && slot_count_ > 0) return PositionAt(0);
   Invalidate();

@@ -91,14 +91,31 @@ class BPlusTree {
   uint32_t height() const { return height_; }
   const std::vector<uint8_t>& metadata() const { return metadata_; }
 
-  /// Point lookup; NotFound if absent.
-  Result<std::string> Get(std::string_view key) const;
+  /// Point lookup; NotFound if absent. Page accesses are charged to
+  /// `stats` when non-null.
+  Result<std::string> Get(std::string_view key,
+                          QueryStats* stats = nullptr) const;
 
   /// \brief Iterator over leaf entries. Invalidated if the pool's pages
   /// are dropped while positioned.
+  ///
+  /// A cursor is single-threaded, but any number of cursors (across
+  /// threads) may walk one tree concurrently: all shared state is
+  /// read-only and the buffer pool is thread-safe. Each cursor charges
+  /// its page accesses to its own stats sink, so concurrent queries
+  /// never race on accounting.
   class Cursor {
    public:
     explicit Cursor(const BPlusTree* tree) : tree_(tree) {}
+
+    /// Charges this cursor's page fetches to `stats` (may be null).
+    void set_stats(QueryStats* stats) { stats_ = stats; }
+
+    /// When > 0, crossing a leaf boundary in Next() speculatively loads
+    /// the following `pages` pages. The bulk loader emits leaves almost
+    /// contiguously, so "the next few page ids" is an effective stand-in
+    /// for "the next few leaves" without extra pointer chasing.
+    void set_readahead(size_t pages) { readahead_ = pages; }
 
     /// Positions at the first entry with key >= `key` (right-match probe).
     Status Seek(std::string_view key);
@@ -126,6 +143,8 @@ class BPlusTree {
     }
 
     const BPlusTree* tree_;
+    QueryStats* stats_ = nullptr;
+    size_t readahead_ = 0;
     PageRef leaf_ref_;
     PageId leaf_ = kInvalidPage;
     size_t slot_ = 0;
@@ -148,8 +167,9 @@ class BPlusTree {
         first_leaf_(first_leaf),
         metadata_(std::move(metadata)) {}
 
-  /// Descends to the leaf whose key range covers `key`.
-  Result<PageId> FindLeaf(std::string_view key) const;
+  /// Descends to the leaf whose key range covers `key`, charging the
+  /// internal-node fetches to `stats`.
+  Result<PageId> FindLeaf(std::string_view key, QueryStats* stats) const;
 
   BufferPool* pool_;
   PageId root_;

@@ -1,74 +1,147 @@
 #include "storage/buffer_pool.h"
 
-#include <cassert>
+#include <algorithm>
+#include <thread>
 
 namespace xksearch {
 
-PageRef::~PageRef() { Release(); }
+namespace {
 
-void PageRef::Release() {
-  if (pool_ != nullptr && page_ != nullptr) {
-    pool_->Unpin(id_);
+/// Default shard count when the caller does not choose one. 16 mutexes
+/// is plenty for the worker counts the serve layer runs (contention on a
+/// shard needs two queries hashing to it in the same instant).
+constexpr size_t kDefaultMaxShards = 16;
+
+/// Auto-sharding keeps at least this many frames per shard. Concurrent
+/// queries pin pages (cursor leaves, descent path) for their duration;
+/// a shard with only 1-2 frames exhausts as soon as two pins collide,
+/// so tiny pools get fewer shards rather than unusably small ones.
+constexpr size_t kMinFramesPerShard = 8;
+
+/// How many times a miss yields and retries when every frame in its
+/// shard is pinned, before reporting exhaustion. Pins are typically
+/// held for microseconds (a cursor advancing off a leaf), so transient
+/// collisions resolve almost immediately; a pool genuinely too small
+/// for its concurrent pin load still fails, just not spuriously.
+constexpr size_t kMaxEvictYields = 256;
+
+}  // namespace
+
+BufferPool::BufferPool(PageStore* store, size_t capacity, size_t shards)
+    : store_(store), capacity_(capacity == 0 ? 1 : capacity) {
+  size_t n = shards == 0
+                 ? std::min(kDefaultMaxShards,
+                            std::max<size_t>(1, capacity_ / kMinFramesPerShard))
+                 : shards;
+  // Every shard must own at least one frame, or pages hashing to an
+  // empty shard could never be cached at all.
+  n = std::max<size_t>(1, std::min(n, capacity_));
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = capacity_ / n + (i < capacity_ % n ? 1 : 0);
+    shards_.push_back(std::move(shard));
   }
-  pool_ = nullptr;
-  page_ = nullptr;
 }
 
-void MutPageRef::Release() {
-  if (pool_ != nullptr && page_ != nullptr) {
-    pool_->Unpin(id_);
-  }
-  pool_ = nullptr;
-  page_ = nullptr;
-}
-
-BufferPool::BufferPool(PageStore* store, size_t capacity)
-    : store_(store), capacity_(capacity == 0 ? 1 : capacity) {}
-
-Result<Page*> BufferPool::PinFrame(PageId id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++total_hits_;
-    if (stats_ != nullptr) ++stats_->page_hits;
-    Frame& frame = it->second;
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_pos);
-      frame.in_lru = false;
+Result<BufferPool::Frame*> BufferPool::PinFrame(PageId id, QueryStats* stats,
+                                                bool mark_dirty) {
+  Shard& shard = ShardFor(id);
+  size_t yields = 0;
+  std::unique_lock<std::mutex> lock(shard.mu);
+  for (;;) {
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame& frame = it->second;
+      if (frame.loading) {
+        // Another thread's read is in flight; wait and re-find (the
+        // frame is erased if that read fails, so loop from the top).
+        shard.cv.wait(lock);
+        continue;
+      }
+      frame.pin_count.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, frame.lru_pos);
+      if (mark_dirty) frame.dirty = true;
+      total_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) ++stats->page_hits;
+      return &frame;
     }
-    ++frame.pin_count;
-    return frame.page.get();
-  }
 
-  ++total_misses_;
-  if (stats_ != nullptr) ++stats_->page_reads;
-
-  while (frames_.size() >= capacity_) {
-    Status evicted = EvictOne();
-    if (evicted.IsNotFound()) {
-      return Status::Internal("buffer pool exhausted: all pages pinned");
+    // Miss: make room, then read with the shard unlocked so concurrent
+    // misses (and all hits) on this shard proceed meanwhile.
+    bool full = false;
+    while (shard.frames.size() >= shard.capacity) {
+      const Status evicted = EvictOneLocked(&shard);
+      if (evicted.ok()) continue;
+      if (!evicted.IsInternal() || yields >= kMaxEvictYields) return evicted;
+      // Every frame is pinned or loading right now. Yield with the
+      // shard unlocked so the pinning queries can progress, then retry
+      // from the top (the page may even be resident by then).
+      ++yields;
+      lock.unlock();
+      std::this_thread::yield();
+      lock.lock();
+      full = true;
+      break;
     }
-    XKS_RETURN_NOT_OK(evicted);
+    if (full) continue;
+    total_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) ++stats->page_reads;
+
+    Frame& frame = shard.frames[id];
+    frame.page = std::make_unique<Page>();
+    frame.pin_count.store(1, std::memory_order_relaxed);
+    frame.loading = true;
+    shard.lru.push_front(id);
+    frame.lru_pos = shard.lru.begin();
+
+    lock.unlock();
+    const Status read = store_->ReadPage(id, frame.page.get());
+    lock.lock();
+    // The frame cannot have moved or been evicted meanwhile: map nodes
+    // have stable addresses and eviction skips loading frames.
+    if (!read.ok()) {
+      shard.lru.erase(frame.lru_pos);
+      shard.frames.erase(id);
+      shard.cv.notify_all();
+      return read;
+    }
+    frame.loading = false;
+    if (mark_dirty) frame.dirty = true;
+    shard.cv.notify_all();
+    return &frame;
   }
-
-  auto page = std::make_unique<Page>();
-  XKS_RETURN_NOT_OK(store_->ReadPage(id, page.get()));
-  Frame frame;
-  frame.page = std::move(page);
-  frame.pin_count = 1;
-  Page* raw = frame.page.get();
-  frames_.emplace(id, std::move(frame));
-  return raw;
 }
 
-Result<PageRef> BufferPool::Fetch(PageId id) {
-  XKS_ASSIGN_OR_RETURN(Page* page, PinFrame(id));
-  return PageRef(this, id, page);
+Status BufferPool::EvictOneLocked(Shard* shard) {
+  // Walk from the cold end, skipping frames that are pinned (the
+  // release-ordered unpin decrement pairs with this acquire load, so a
+  // just-released writer's page bytes are visible to the write-back) or
+  // still loading.
+  for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+    auto fit = shard->frames.find(*it);
+    Frame& frame = fit->second;
+    if (frame.loading) continue;
+    if (frame.pin_count.load(std::memory_order_acquire) > 0) continue;
+    if (frame.dirty) {
+      XKS_RETURN_NOT_OK(store_->WritePage(*it, *frame.page));
+    }
+    shard->lru.erase(std::next(it).base());
+    shard->frames.erase(fit);
+    return Status::OK();
+  }
+  return Status::Internal("buffer pool exhausted: all pages pinned");
 }
 
-Result<MutPageRef> BufferPool::FetchMut(PageId id) {
-  XKS_ASSIGN_OR_RETURN(Page* page, PinFrame(id));
-  frames_.find(id)->second.dirty = true;
-  return MutPageRef(this, id, page);
+Result<PageRef> BufferPool::Fetch(PageId id, QueryStats* stats) {
+  XKS_ASSIGN_OR_RETURN(Frame * frame,
+                       PinFrame(id, stats, /*mark_dirty=*/false));
+  return PageRef(id, frame);
+}
+
+Result<MutPageRef> BufferPool::FetchMut(PageId id, QueryStats* stats) {
+  XKS_ASSIGN_OR_RETURN(Frame * frame, PinFrame(id, stats, /*mark_dirty=*/true));
+  return MutPageRef(id, frame);
 }
 
 Result<MutPageRef> BufferPool::NewPage() {
@@ -77,63 +150,112 @@ Result<MutPageRef> BufferPool::NewPage() {
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [id, frame] : frames_) {
-    if (!frame.dirty) continue;
-    XKS_RETURN_NOT_OK(store_->WritePage(id, *frame.page));
-    frame.dirty = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [id, frame] : shard->frames) {
+      if (!frame.dirty || frame.loading) continue;
+      XKS_RETURN_NOT_OK(store_->WritePage(id, *frame.page));
+      frame.dirty = false;
+    }
   }
   return store_->Sync();
 }
 
-void BufferPool::Unpin(PageId id) {
-  auto it = frames_.find(id);
-  assert(it != frames_.end());
-  Frame& frame = it->second;
-  assert(frame.pin_count > 0);
-  --frame.pin_count;
-  if (frame.pin_count == 0) {
-    lru_.push_front(id);
-    frame.lru_pos = lru_.begin();
-    frame.in_lru = true;
-  }
-}
-
-Status BufferPool::EvictOne() {
-  if (lru_.empty()) {
-    return Status::NotFound("no evictable frame");
-  }
-  const PageId victim = lru_.back();
-  auto it = frames_.find(victim);
-  assert(it != frames_.end());
-  if (it->second.dirty) {
-    XKS_RETURN_NOT_OK(store_->WritePage(victim, *it->second.page));
-  }
-  lru_.pop_back();
-  frames_.erase(it);
-  return Status::OK();
-}
-
 Status BufferPool::DropAll() {
-  for (const auto& [id, frame] : frames_) {
-    if (frame.pin_count > 0) {
-      return Status::Internal("cannot drop buffer pool: page " +
-                              std::to_string(id) + " is pinned");
+  // Lock every shard (always in index order, so DropAll never deadlocks
+  // against itself; fetches only ever take one shard lock at a time).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+
+  // Verify no page is pinned before dropping anything, so a failed drop
+  // leaves the cache fully intact.
+  for (auto& shard : shards_) {
+    for (auto& [id, frame] : shard->frames) {
+      if (frame.loading ||
+          frame.pin_count.load(std::memory_order_acquire) > 0) {
+        return Status::Internal("cannot drop buffer pool: page " +
+                                std::to_string(id) + " is pinned");
+      }
     }
   }
-  XKS_RETURN_NOT_OK(FlushAll());
-  frames_.clear();
-  lru_.clear();
-  return Status::OK();
+  for (auto& shard : shards_) {
+    for (auto& [id, frame] : shard->frames) {
+      if (!frame.dirty) continue;
+      XKS_RETURN_NOT_OK(store_->WritePage(id, *frame.page));
+      frame.dirty = false;
+    }
+    shard->frames.clear();
+    shard->lru.clear();
+  }
+  return store_->Sync();
+}
+
+Result<bool> BufferPool::LoadIfAbsent(PageId id, bool evict_if_full) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  // If the page is already resident (or being read), do nothing.
+  if (shard.frames.count(id) != 0) return false;
+  while (shard.frames.size() >= shard.capacity) {
+    // Speculative loads never fight pinned pages: when eviction finds
+    // nothing evictable (or is disallowed), skip the load entirely.
+    if (!evict_if_full || !EvictOneLocked(&shard).ok()) return false;
+  }
+
+  Frame& frame = shard.frames[id];
+  frame.page = std::make_unique<Page>();
+  frame.loading = true;
+  shard.lru.push_front(id);
+  frame.lru_pos = shard.lru.begin();
+
+  lock.unlock();
+  const Status read = store_->ReadPage(id, frame.page.get());
+  lock.lock();
+  if (!read.ok()) {
+    shard.lru.erase(frame.lru_pos);
+    shard.frames.erase(id);
+    shard.cv.notify_all();
+    return read;
+  }
+  frame.loading = false;
+  shard.cv.notify_all();
+  return true;
 }
 
 Status BufferPool::WarmAll() {
   const PageId n = store_->page_count();
-  for (PageId id = 0; id < n && frames_.size() < capacity_; ++id) {
-    if (frames_.count(id)) continue;
-    XKS_ASSIGN_OR_RETURN(PageRef ref, Fetch(id));
-    ref.Release();
+  store_->Prefetch(0, static_cast<size_t>(n));
+  for (PageId id = 0; id < n; ++id) {
+    XKS_ASSIGN_OR_RETURN(const bool loaded,
+                         LoadIfAbsent(id, /*evict_if_full=*/false));
+    if (loaded) total_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
+}
+
+void BufferPool::Readahead(PageId first, size_t count, QueryStats* stats) {
+  const PageId n = store_->page_count();
+  if (count == 0 || first >= n) return;
+  count = std::min(count, static_cast<size_t>(n - first));
+  store_->Prefetch(first, count);
+  for (size_t i = 0; i < count; ++i) {
+    Result<bool> loaded = LoadIfAbsent(first + static_cast<PageId>(i),
+                                       /*evict_if_full=*/true);
+    // Best effort: a failed speculative read just means the demand
+    // fetch will retry (and surface the error then, if it persists).
+    if (!loaded.ok() || !*loaded) continue;
+    total_readaheads_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) ++stats->readahead_reads;
+  }
+}
+
+size_t BufferPool::resident() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->frames.size();
+  }
+  return total;
 }
 
 }  // namespace xksearch

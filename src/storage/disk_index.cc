@@ -198,10 +198,11 @@ Result<std::unique_ptr<DiskIndex>> DiskIndex::Open(
 }
 
 Status DiskIndex::InitTreesAndDict(const DiskIndexOptions& options) {
-  il_pool_ = std::make_unique<BufferPool>(il_store_.get(),
-                                          options.il_pool_pages);
-  scan_pool_ = std::make_unique<BufferPool>(scan_store_.get(),
-                                            options.scan_pool_pages);
+  readahead_pages_ = options.readahead_pages;
+  il_pool_ = std::make_unique<BufferPool>(
+      il_store_.get(), options.il_pool_pages, options.pool_shards);
+  scan_pool_ = std::make_unique<BufferPool>(
+      scan_store_.get(), options.scan_pool_pages, options.pool_shards);
   XKS_ASSIGN_OR_RETURN(BPlusTree il_tree, BPlusTree::Open(il_pool_.get()));
   il_tree_ = std::move(il_tree);
   XKS_ASSIGN_OR_RETURN(BPlusTree scan_tree, BPlusTree::Open(scan_pool_.get()));
@@ -244,6 +245,7 @@ Result<bool> DiskIndex::RightMatch(uint32_t term, const DeweyId& v,
   std::string key;
   EncodeIlKey(*codec_, term, v, &key);
   BPlusTree::Cursor cursor = il_tree_->NewCursor();
+  cursor.set_stats(stats);
   XKS_RETURN_NOT_OK(cursor.Seek(key));
   if (!cursor.Valid() || !HasTermPrefix(cursor.key(), term)) return false;
   if (stats != nullptr) ++stats->postings_read;
@@ -259,6 +261,7 @@ Result<bool> DiskIndex::LeftMatch(uint32_t term, const DeweyId& v,
   std::string key;
   EncodeIlKey(*codec_, term, v, &key);
   BPlusTree::Cursor cursor = il_tree_->NewCursor();
+  cursor.set_stats(stats);
   XKS_RETURN_NOT_OK(cursor.SeekForPrev(key));
   if (!cursor.Valid() || !HasTermPrefix(cursor.key(), term)) return false;
   if (stats != nullptr) ++stats->postings_read;
@@ -272,6 +275,10 @@ Result<bool> DiskIndex::LeftMatch(uint32_t term, const DeweyId& v,
 Result<DiskIndex::PostingCursor> DiskIndex::OpenPostings(
     uint32_t term, QueryStats* stats) const {
   BPlusTree::Cursor cursor = scan_tree_->NewCursor();
+  cursor.set_stats(stats);
+  // Posting scans are the long sequential reads; they are the path that
+  // profits from leaf readahead.
+  cursor.set_readahead(readahead_pages_);
   // The bare 4-byte term prefix sorts before every (term, dewey) key.
   std::string key;
   AppendBigEndian32(term, &key);
@@ -313,11 +320,6 @@ bool DiskIndex::PostingCursor::Next(DeweyId* out) {
     if (done_) return false;
     if (!LoadBlock()) return false;
   }
-}
-
-void DiskIndex::AttachStats(QueryStats* stats) {
-  il_pool_->AttachStats(stats);
-  scan_pool_->AttachStats(stats);
 }
 
 Status DiskIndex::DropCaches() {

@@ -33,6 +33,15 @@ struct DiskIndexOptions {
   size_t scan_pool_pages = 8192;
   /// Target payload bytes per posting block in the scan layout.
   size_t scan_block_bytes = 3600;
+  /// Lock shards per buffer pool (0 = pick automatically). More shards
+  /// means less mutex contention between concurrent queries; 1 gives the
+  /// old single-LRU behaviour (useful for deterministic cache tests).
+  size_t pool_shards = 0;
+  /// Leaf readahead: pages speculatively loaded when a posting scan
+  /// crosses a leaf boundary. 0 (the default) disables readahead, which
+  /// keeps per-query disk-access counts exactly comparable with the
+  /// paper's figures; serving setups chasing latency turn it on.
+  size_t readahead_pages = 0;
   /// Level-table Dewey compression for IL keys (paper Section 4); when
   /// false a fixed 32-bit-per-component codec is used (ablation X2).
   bool compress_dewey = true;
@@ -52,6 +61,14 @@ struct DiskIndexOptions {
 ///
 /// The keyword dictionary (the paper's frequency table) is loaded into an
 /// in-memory hash table at open, mirroring XKSearch's initializer.
+///
+/// All read operations (FindTerm, RightMatch, LeftMatch, OpenPostings
+/// and the cursors they return) are safe to call from any number of
+/// threads concurrently: the trees and dictionary are immutable after
+/// open and the buffer pools are sharded and thread-safe. Each call
+/// charges its page accesses to the per-query stats object it is given,
+/// so accounting never crosses queries. DropCaches/WarmCaches are safe
+/// too, though DropCaches fails while any query holds a pinned page.
 class DiskIndex {
  public:
   struct TermInfo {
@@ -115,9 +132,6 @@ class DiskIndex {
   Result<PostingCursor> OpenPostings(uint32_t term,
                                      QueryStats* stats = nullptr) const;
 
-  /// Routes page-read accounting of both pools to `stats` (may be null).
-  void AttachStats(QueryStats* stats);
-
   /// Evicts everything from both buffer pools (cold-cache experiments).
   Status DropCaches();
   /// Loads as much as fits into both pools (hot-cache experiments).
@@ -154,6 +168,7 @@ class DiskIndex {
   std::unordered_map<std::string, TermInfo> dict_;
   uint64_t total_postings_ = 0;
   TokenizerOptions tokenizer_;
+  size_t readahead_pages_ = 0;
 };
 
 /// \brief Incremental maintenance of a file-backed index: add or remove

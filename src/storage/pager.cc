@@ -1,5 +1,10 @@
 #include "storage/pager.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 
@@ -11,60 +16,72 @@ Status Errno(const std::string& what, const std::string& path) {
   return Status::IoError(what + " " + path + ": " + std::strerror(errno));
 }
 
+constexpr off_t PageOffset(PageId id) {
+  return static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+}
+
 }  // namespace
 
 Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
     const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb+");
-  if (f == nullptr) return Errno("cannot create", path);
-  return std::unique_ptr<FilePageStore>(new FilePageStore(path, f, 0));
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot create", path);
+  return std::unique_ptr<FilePageStore>(new FilePageStore(path, fd, 0));
 }
 
 Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
     const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb+");
-  if (f == nullptr) return Errno("cannot open", path);
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
-    return Errno("cannot seek", path);
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Errno("cannot open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("cannot stat", path);
   }
-  const long size = std::ftell(f);
-  if (size < 0 || size % static_cast<long>(kPageSize) != 0) {
-    std::fclose(f);
+  if (st.st_size < 0 || st.st_size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
     return Status::Corruption("file size not a multiple of page size: " + path);
   }
   return std::unique_ptr<FilePageStore>(new FilePageStore(
-      path, f, static_cast<PageId>(size / static_cast<long>(kPageSize))));
+      path, fd,
+      static_cast<PageId>(st.st_size / static_cast<off_t>(kPageSize))));
 }
 
 FilePageStore::~FilePageStore() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) ::close(fd_);
 }
 
 Status FilePageStore::ReadPage(PageId id, Page* out) {
-  if (id >= page_count_) {
+  if (id >= page_count()) {
     return Status::OutOfRange("page " + std::to_string(id) + " out of range");
   }
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
-    return Errno("seek failed in", path_);
-  }
-  if (std::fread(out->data.data(), 1, kPageSize, file_) != kPageSize) {
-    return Errno("short read in", path_);
+  size_t done = 0;
+  while (done < kPageSize) {
+    const ssize_t n = ::pread(fd_, out->data.data() + done, kPageSize - done,
+                              PageOffset(id) + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read failed in", path_);
+    }
+    if (n == 0) return Errno("short read in", path_);
+    done += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
 Status FilePageStore::WritePage(PageId id, const Page& page) {
-  if (id >= page_count_) {
+  if (id >= page_count()) {
     return Status::OutOfRange("page " + std::to_string(id) + " out of range");
   }
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
-    return Errno("seek failed in", path_);
-  }
-  if (std::fwrite(page.data.data(), 1, kPageSize, file_) != kPageSize) {
-    return Errno("short write in", path_);
+  size_t done = 0;
+  while (done < kPageSize) {
+    const ssize_t n = ::pwrite(fd_, page.data.data() + done, kPageSize - done,
+                               PageOffset(id) + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write failed in", path_);
+    }
+    done += static_cast<size_t>(n);
   }
   return Status::OK();
 }
@@ -75,19 +92,36 @@ Result<PageId> FilePageStore::AllocatePage() {
     p.Zero();
     return p;
   }();
-  const PageId id = page_count_;
-  ++page_count_;
-  Status st = WritePage(id, kZeroPage);
-  if (!st.ok()) {
-    --page_count_;
-    return st;
+  const PageId id = page_count_.fetch_add(1, std::memory_order_acq_rel);
+  size_t done = 0;
+  while (done < kPageSize) {
+    const ssize_t n =
+        ::pwrite(fd_, kZeroPage.data.data() + done, kPageSize - done,
+                 PageOffset(id) + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      page_count_.fetch_sub(1, std::memory_order_acq_rel);
+      return Errno("write failed in", path_);
+    }
+    done += static_cast<size_t>(n);
   }
   return id;
 }
 
 Status FilePageStore::Sync() {
-  if (std::fflush(file_) != 0) return Errno("flush failed in", path_);
+  if (::fsync(fd_) != 0) return Errno("sync failed in", path_);
   return Status::OK();
+}
+
+void FilePageStore::Prefetch(PageId first, size_t count) {
+  const PageId n = page_count();
+  if (first >= n || count == 0) return;
+  if (count > static_cast<size_t>(n - first)) {
+    count = static_cast<size_t>(n - first);
+  }
+  (void)::posix_fadvise(fd_, PageOffset(first),
+                        static_cast<off_t>(count * kPageSize),
+                        POSIX_FADV_WILLNEED);
 }
 
 Status MemPageStore::ReadPage(PageId id, Page* out) {

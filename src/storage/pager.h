@@ -1,7 +1,7 @@
 #ifndef XKSEARCH_STORAGE_PAGER_H_
 #define XKSEARCH_STORAGE_PAGER_H_
 
-#include <cstdio>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +13,12 @@ namespace xksearch {
 
 /// \brief Abstract store of fixed-size pages; the raw-device layer under
 /// the buffer pool.
+///
+/// Thread-safety contract: concurrent ReadPage calls (including of the
+/// same page) are safe. WritePage/AllocatePage are only issued by
+/// single-threaded writers (builders, the updater) or by the buffer pool
+/// under its shard locks, never concurrently with each other for the
+/// same page.
 class PageStore {
  public:
   virtual ~PageStore() = default;
@@ -23,9 +29,21 @@ class PageStore {
   virtual Result<PageId> AllocatePage() = 0;
   virtual PageId page_count() const = 0;
   virtual Status Sync() = 0;
+
+  /// Advisory: the caller intends to read `count` pages starting at
+  /// `first` soon. File-backed stores forward the hint to the OS page
+  /// cache so the reads overlap; default is a no-op.
+  virtual void Prefetch(PageId first, size_t count) {
+    (void)first;
+    (void)count;
+  }
 };
 
-/// \brief File-backed page store.
+/// \brief File-backed page store over a raw file descriptor.
+///
+/// Reads and writes use pread/pwrite, so any number of threads can read
+/// pages concurrently without seek-pointer races — the property the
+/// sharded buffer pool's parallel miss path relies on.
 class FilePageStore : public PageStore {
  public:
   /// Opens (mode "open") or creates/truncates (mode "create") `path`.
@@ -40,21 +58,28 @@ class FilePageStore : public PageStore {
   Status ReadPage(PageId id, Page* out) override;
   Status WritePage(PageId id, const Page& page) override;
   Result<PageId> AllocatePage() override;
-  PageId page_count() const override { return page_count_; }
+  PageId page_count() const override {
+    return page_count_.load(std::memory_order_acquire);
+  }
   Status Sync() override;
+  void Prefetch(PageId first, size_t count) override;
 
   const std::string& path() const { return path_; }
 
  private:
-  FilePageStore(std::string path, std::FILE* file, PageId page_count)
-      : path_(std::move(path)), file_(file), page_count_(page_count) {}
+  FilePageStore(std::string path, int fd, PageId page_count)
+      : path_(std::move(path)), fd_(fd), page_count_(page_count) {}
 
   std::string path_;
-  std::FILE* file_;
-  PageId page_count_;
+  int fd_;
+  std::atomic<PageId> page_count_;
 };
 
 /// \brief In-memory page store for tests and fully-cached ("hot") setups.
+///
+/// Concurrent ReadPage is safe once building is done: page buffers are
+/// heap-allocated (stable addresses) and the slot vector only grows
+/// during the single-threaded build phase.
 class MemPageStore : public PageStore {
  public:
   MemPageStore() = default;

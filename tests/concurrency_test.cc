@@ -1,15 +1,17 @@
-// The in-memory query path is read-only after build: a const XKSearch
-// can serve concurrent queries from many threads. The disk path shares a
-// buffer pool and is serialized internally on a mutex, so it too is safe
-// (though not parallel) from many threads. These tests pin down that
-// contract, plus QueryService — the layer that multiplexes both paths
-// behind a thread pool and result cache.
+// The whole query surface is concurrent: the in-memory path is read-only
+// after build, and the disk path runs on sharded thread-safe buffer
+// pools with per-query stats — so a const XKSearch or DiskSearcher can
+// serve parallel queries from many threads with no internal
+// serialization. These tests pin down that contract, plus QueryService —
+// the layer that multiplexes both paths behind a thread pool and result
+// cache.
 
 #include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "engine/disk_searcher.h"
 #include "engine/xksearch.h"
 #include "gen/dblp_generator.h"
 #include "gtest/gtest.h"
@@ -143,8 +145,8 @@ TEST(ConcurrencyTest, ParallelDiskQueriesAgree) {
   Result<SearchResult> expected = system->Search({"alpha", "carol"}, options);
   ASSERT_TRUE(expected.ok());
 
-  // Disk queries mutate shared buffer-pool state; the engine serializes
-  // them internally, so concurrent const callers must still agree.
+  // Disk queries run fully in parallel on the sharded buffer pools;
+  // concurrent const callers must still agree with the baseline.
   std::atomic<int> bad{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 6; ++t) {
@@ -160,6 +162,107 @@ TEST(ConcurrencyTest, ParallelDiskQueriesAgree) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(bad.load(), 0);
+}
+
+// Stress the fully concurrent disk read path: 8 threads hammer one
+// shared DiskSearcher whose pools are deliberately tiny (constant
+// eviction) with readahead on, while a chaos thread flips the caches
+// between cold (DropCaches) and hot (WarmCaches). Written to run under
+// tsan (the preset's test filter includes this suite); the asserted
+// invariants are
+//   * every concurrent result equals its single-threaded baseline,
+//   * per-query stats charge every fetch exactly once (reads + hits),
+//   * no pin leaks: once the threads join, DropCaches succeeds and both
+//     pools are empty.
+TEST(ConcurrencyTest, DiskSearcherParallelStress) {
+  DblpOptions gen;
+  gen.papers = 1200;
+  gen.seed = 7;
+  gen.plants = {{"alpha", 12}, {"bravo", 150}, {"carol", 900}};
+  Result<Document> doc = GenerateDblp(gen);
+  ASSERT_TRUE(doc.ok());
+  XKSearch::BuildOptions build;
+  build.build_disk_index = true;
+  build.disk.in_memory = true;
+  // Tiny pools force eviction on nearly every query; readahead adds the
+  // speculative-load path to the interleavings tsan sees.
+  build.disk.il_pool_pages = 64;
+  build.disk.scan_pool_pages = 64;
+  build.disk.readahead_pages = 4;
+  Result<std::unique_ptr<XKSearch>> built =
+      XKSearch::BuildFromDocument(std::move(*doc), build);
+  ASSERT_TRUE(built.ok());
+  DiskIndex* index = (*built)->disk_index();
+  ASSERT_NE(index, nullptr);
+  const DiskSearcher searcher(index, index->tokenizer());
+
+  const std::vector<std::vector<std::string>> queries = {
+      {"alpha", "carol"}, {"bravo", "carol"}, {"alpha", "bravo", "carol"},
+      {"alpha"},          {"bravo"},
+  };
+  std::vector<std::vector<std::string>> expected;
+  std::vector<uint64_t> expected_results;
+  for (const auto& q : queries) {
+    Result<SearchResult> r = searcher.Search(q);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(Strings(r->nodes));
+    expected_results.push_back(r->stats.results);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+  std::atomic<int> bad{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int r = 0; r < kRounds; ++r) {
+        const size_t qi = static_cast<size_t>(t * 3 + r) % queries.size();
+        SearchOptions options;
+        options.algorithm = static_cast<AlgorithmChoice>(1 + (t + r) % 3);
+        Result<SearchResult> got = searcher.Search(queries[qi], options);
+        if (!got.ok() || Strings(got->nodes) != expected[qi] ||
+            got->stats.results != expected_results[qi]) {
+          ++bad;
+          return;
+        }
+        // Per-query accounting is self-consistent: a disk query touches
+        // at least one page, each charged as exactly one read or hit.
+        if (got->stats.page_reads + got->stats.page_hits == 0) {
+          ++bad;
+          return;
+        }
+      }
+    });
+  }
+  // Chaos thread: flip the caches hot/cold underneath the queries.
+  // DropCaches legitimately fails while any query holds a pin.
+  std::thread chaos([&]() {
+    int flips = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (++flips % 2 == 0) {
+        const Status st = index->DropCaches();
+        if (!st.ok() && !st.IsInternal()) {
+          ++bad;
+          return;
+        }
+      } else if (!index->WarmCaches().ok()) {
+        ++bad;
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  stop = true;
+  chaos.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // No pins leaked: with every query finished, the caches drop cleanly.
+  XKS_ASSERT_OK(index->DropCaches());
+  EXPECT_EQ(index->il_pool()->resident(), 0u);
+  EXPECT_EQ(index->scan_pool()->resident(), 0u);
 }
 
 TEST(ConcurrencyTest, QueryServiceMixedHotColdHammer) {

@@ -164,7 +164,6 @@ TEST(DiskIndexTest, ColdAndHotCacheAccounting) {
   DiskIndex& di = **index;
 
   QueryStats cold;
-  di.AttachStats(&cold);
   XKS_ASSERT_OK(di.DropCaches());
   const DiskIndex::TermInfo* kw = di.FindTerm("kw");
   Result<DiskIndex::PostingCursor> cursor = di.OpenPostings(kw->id, &cold);
@@ -177,7 +176,6 @@ TEST(DiskIndexTest, ColdAndHotCacheAccounting) {
 
   // Hot: same scan over a warm pool costs no reads.
   QueryStats hot;
-  di.AttachStats(&hot);
   Result<DiskIndex::PostingCursor> cursor2 = di.OpenPostings(kw->id, &hot);
   ASSERT_TRUE(cursor2.ok());
   n = 0;

@@ -20,7 +20,7 @@ using testing_util::Strings;
 class DiskIndexUpdaterTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    prefix_ = ::testing::TempDir() + "/updater_idx";
+    prefix_ = testing_util::UniqueTempPrefix("updater_idx");
     // Base index: two keywords over a small tree.
     source_.AddPosting("apple", Id("0.0.1"));
     source_.AddPosting("apple", Id("0.2.0"));

@@ -17,7 +17,7 @@ using testing_util::Strings;
 class DiskSearcherTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    prefix_ = ::testing::TempDir() + "/disk_searcher_idx";
+    prefix_ = testing_util::UniqueTempPrefix("disk_searcher_idx");
     XKSearch::BuildOptions build;
     build.build_disk_index = true;
     build.disk_path_prefix = prefix_;

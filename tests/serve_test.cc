@@ -108,6 +108,9 @@ TEST(ThreadPoolTest, StopWithoutDrainDiscardsQueuedTasks) {
   ASSERT_TRUE(pool.Submit([&] { ++ran; }).ok());
   ASSERT_TRUE(pool.Submit([&] { ++ran; }).ok());
   std::thread stopper([&] { pool.Stop(/*drain=*/false); });
+  // Release the gate only after Stop has switched the pool to discard
+  // mode; otherwise the worker could pick up a queued task in between.
+  while (!pool.stopping()) std::this_thread::yield();
   gate.Release();
   stopper.join();
   // Only the in-flight gate task ran; the queued two were discarded.
@@ -397,6 +400,8 @@ TEST(QueryServiceTest, MetricsReportRendersEverySection) {
         << "missing \"" << needle << "\" in:\n"
         << report;
   }
+  // No disk index behind this engine: the pool gauge lines are omitted.
+  EXPECT_EQ(report.find("il_pool:"), std::string::npos);
 }
 
 TEST(QueryServiceTest, ServesDiskSearcherBackend) {
@@ -436,6 +441,15 @@ TEST(QueryServiceTest, ServesDiskSearcherBackend) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(bad.load(), 0);
+
+  // A disk backend adds the buffer-pool gauge lines to the report (an
+  // in-memory engine omits them, see MetricsReportRendersEverySection).
+  const std::string report = service.MetricsReport();
+  for (const char* needle : {"il_pool:", "scan_pool:", "readaheads="}) {
+    EXPECT_NE(report.find(needle), std::string::npos)
+        << "missing \"" << needle << "\" in:\n"
+        << report;
+  }
 }
 
 }  // namespace

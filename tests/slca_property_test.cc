@@ -98,7 +98,6 @@ TEST_P(SlcaPropertyTest, AllAlgorithmsMatchOracle) {
 
         // Disk-backed parity for both semantics.
         QueryStats disk_stats;
-        (*disk)->AttachStats(&disk_stats);
         std::vector<std::unique_ptr<KeywordList>> disk_owned;
         std::vector<KeywordList*> disk_ptrs;
         for (const std::string& kw : keywords) {
@@ -119,7 +118,6 @@ TEST_P(SlcaPropertyTest, AllAlgorithmsMatchOracle) {
             ComputeAllLcaList(disk_ptrs, {}, &disk_stats);
         ASSERT_TRUE(disk_lca.ok());
         EXPECT_EQ(Strings(*disk_lca), Strings(oracle.AllLca()));
-        (*disk)->AttachStats(nullptr);
       }
 
       for (SlcaAlgorithm algorithm :
@@ -145,7 +143,6 @@ TEST_P(SlcaPropertyTest, AllAlgorithmsMatchOracle) {
         // Disk-backed lists.
         {
           QueryStats stats;
-          (*disk)->AttachStats(&stats);
           std::vector<std::unique_ptr<KeywordList>> owned;
           std::vector<KeywordList*> ptrs;
           for (const std::string& kw : keywords) {
@@ -163,7 +160,6 @@ TEST_P(SlcaPropertyTest, AllAlgorithmsMatchOracle) {
           ASSERT_TRUE(got.ok()) << got.status().ToString();
           EXPECT_EQ(Strings(*got), Strings(expected))
               << ToString(algorithm) << " (disk) seed=" << param.seed;
-          (*disk)->AttachStats(nullptr);
         }
       }
     }

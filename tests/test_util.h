@@ -1,6 +1,8 @@
 #ifndef XKSEARCH_TESTS_TEST_UTIL_H_
 #define XKSEARCH_TESTS_TEST_UTIL_H_
 
+#include <unistd.h>
+
 #include <string>
 #include <vector>
 
@@ -9,6 +11,14 @@
 
 namespace xksearch {
 namespace testing_util {
+
+/// Temp-file prefix unique to this process. Fixtures that share one
+/// on-disk name across test cases need this: `ctest -j` runs every
+/// gtest case as its own concurrent process, and a fixed path makes
+/// one case's SetUp truncate the files another case is reading.
+inline std::string UniqueTempPrefix(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + "_" + std::to_string(getpid());
+}
 
 /// Builds a DeweyId from "0.1.2" (test-only convenience; asserts on
 /// malformed input).

@@ -4,6 +4,9 @@ per experiment, ready for plotting.
 
 Usage: tools/bench_to_csv.py [bench_output.txt] [out_dir]
 
+Pass "-" as the input to read from stdin, e.g.
+  ./build/bench/bench_parallel_cold | tools/bench_to_csv.py - bench_csv
+
 Two line formats are understood and may be mixed in one file:
 
 google-benchmark console lines like
@@ -12,10 +15,12 @@ become a CSV row
   series,arg0,arg1,time_ms,<counter columns...>
 in out_dir/RunFig8.csv.
 
-JSON lines (as emitted by bench_serve_throughput) like
+JSON lines (as emitted by bench_serve_throughput and
+bench_parallel_cold) like
   {"bench":"serve_throughput","workers":8,"qps":51234.0,...}
-become one row per line in out_dir/serve_throughput.csv, with every
-scalar field except "bench" as a column.
+  {"bench":"parallel_disk","regime":"hot","workers":4,"qps":...}
+become one row per line in out_dir/<bench>.csv, with every scalar field
+except "bench" as a column.
 """
 
 import collections
@@ -48,7 +53,7 @@ def main():
     os.makedirs(out_dir, exist_ok=True)
 
     tables = collections.defaultdict(list)
-    with open(src) as f:
+    with (sys.stdin if src == "-" else open(src)) as f:
         for line in f:
             line = line.strip()
             if line.startswith("{"):

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI: configure, build, and test the presets that gate a change.
+#
+#   release  full test suite under the optimized build
+#   tsan     ThreadSanitizer over the concurrency-sensitive suites
+#            (preset filter in CMakePresets.json)
+#
+# Usage: tools/ci.sh [preset ...]     (default: release tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(release tsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+for preset in "${presets[@]}"; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset"
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> [$preset] test"
+  ctest --preset "$preset"
+done
+echo "ci: all presets passed (${presets[*]})"
