@@ -1,0 +1,344 @@
+#include "fuzz/harness.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "engine/disk_searcher.h"
+#include "engine/xksearch.h"
+#include "gen/random_tree.h"
+#include "slca/brute_force.h"
+#include "storage/fault_injection.h"
+
+namespace xksearch {
+namespace fuzz {
+
+namespace {
+
+std::string JoinKeywords(const std::vector<std::string>& keywords) {
+  std::string out;
+  for (const std::string& k : keywords) {
+    if (!out.empty()) out += ' ';
+    out += k;
+  }
+  return out;
+}
+
+std::string IdsToString(std::vector<DeweyId> ids) {
+  std::sort(ids.begin(), ids.end());
+  std::string out = "{";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += ids[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+bool SameSet(std::vector<DeweyId> a, std::vector<DeweyId> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+/// Shared mutable state of one fuzz case, so the check helpers can file
+/// divergences without threading six arguments through every call.
+struct CaseContext {
+  uint64_t seed;
+  FuzzReport* report;
+  const std::vector<std::string>* keywords;
+
+  void Diverge(std::string detail) {
+    Divergence d;
+    d.seed = seed;
+    d.keywords = *keywords;
+    d.detail = std::move(detail);
+    report->divergences.push_back(std::move(d));
+  }
+
+  /// Compares one algorithm's answer against the oracle's.
+  void Check(const char* label, const Result<SearchResult>& got,
+             const std::vector<DeweyId>& expected) {
+    ++report->cases;
+    if (!got.ok()) {
+      Diverge(std::string(label) + " failed: " + got.status().ToString());
+      return;
+    }
+    if (!SameSet(got->nodes, expected)) {
+      Diverge(std::string(label) + " = " + IdsToString(got->nodes) +
+              ", oracle = " + IdsToString(expected));
+    }
+  }
+
+  void CheckIds(const char* label, const std::vector<DeweyId>& got,
+                const std::vector<DeweyId>& expected) {
+    ++report->cases;
+    if (!SameSet(got, expected)) {
+      Diverge(std::string(label) + " = " + IdsToString(got) + ", oracle = " +
+              IdsToString(expected));
+    }
+  }
+};
+
+/// The three paper algorithms, each forced explicitly.
+constexpr AlgorithmChoice kAlgorithms[] = {
+    AlgorithmChoice::kIndexedLookupEager,
+    AlgorithmChoice::kScanEager,
+    AlgorithmChoice::kStack,
+};
+
+const char* AlgorithmLabel(AlgorithmChoice a, bool disk) {
+  switch (a) {
+    case AlgorithmChoice::kIndexedLookupEager:
+      return disk ? "disk/il-eager" : "mem/il-eager";
+    case AlgorithmChoice::kScanEager:
+      return disk ? "disk/scan-eager" : "mem/scan-eager";
+    case AlgorithmChoice::kStack:
+      return disk ? "disk/stack" : "mem/stack";
+    default:
+      return "auto";
+  }
+}
+
+}  // namespace
+
+void FuzzReport::Merge(const FuzzReport& other) {
+  collections += other.collections;
+  cases += other.cases;
+  clean_fault_errors += other.clean_fault_errors;
+  fault_survivals += other.fault_survivals;
+  divergences.insert(divergences.end(), other.divergences.begin(),
+                     other.divergences.end());
+}
+
+std::string FormatDivergence(const Divergence& d) {
+  std::ostringstream os;
+  os << "divergence: seed=" << d.seed << " query=\"" << JoinKeywords(d.keywords)
+     << "\" — " << d.detail
+     << "  (replay: xk_fuzz --seed=" << d.seed << " --cases=1)";
+  return os.str();
+}
+
+FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
+  FuzzReport report;
+  report.collections = 1;
+  Rng rng(seed);
+
+  // --- Collection: random tree, random shape, shared by every query. ---
+  RandomTreeOptions tree;
+  tree.node_count = static_cast<size_t>(
+      rng.UniformInt(static_cast<int64_t>(options.min_nodes),
+                     static_cast<int64_t>(options.max_nodes)));
+  tree.max_depth = static_cast<uint32_t>(rng.UniformInt(3, 10));
+  tree.max_children = static_cast<uint32_t>(rng.UniformInt(2, 6));
+  tree.vocab_size = static_cast<size_t>(
+      rng.UniformInt(static_cast<int64_t>(options.min_vocab),
+                     static_cast<int64_t>(options.max_vocab)));
+  tree.text_probability = 0.4 + 0.5 * rng.UniformDouble();
+  Document doc = GenerateRandomDocument(&rng, tree);
+  const std::vector<std::string> vocab = RandomTreeVocabulary(tree);
+
+  // Fault wrappers, filled by the decorator when the disk path is built.
+  std::vector<FaultInjectingPageStore*> wrappers;
+
+  XKSearch::BuildOptions build;
+  build.build_disk_index = options.with_disk;
+  if (options.with_disk) {
+    build.disk.in_memory = true;
+    // Deliberately tiny pools (and sometimes a single shard) so cursor
+    // traffic misses constantly: a fuzz case where everything stays
+    // cached would never exercise the read path, let alone its faults.
+    build.disk.il_pool_pages = static_cast<size_t>(rng.UniformInt(2, 16));
+    build.disk.scan_pool_pages = static_cast<size_t>(rng.UniformInt(2, 16));
+    build.disk.pool_shards = static_cast<size_t>(rng.UniformInt(1, 4));
+    build.disk.readahead_pages = static_cast<size_t>(rng.UniformInt(0, 4));
+    build.disk.compress_dewey = rng.Bernoulli(0.75);
+    build.disk.delta_compress = rng.Bernoulli(0.75);
+    build.disk.store_decorator =
+        [&wrappers, seed](std::unique_ptr<PageStore> inner,
+                          std::string_view /*name*/) {
+          auto wrapped = std::make_unique<FaultInjectingPageStore>(
+              std::move(inner), seed);
+          wrappers.push_back(wrapped.get());
+          return std::unique_ptr<PageStore>(std::move(wrapped));
+        };
+  }
+
+  Result<std::unique_ptr<XKSearch>> built =
+      XKSearch::BuildFromDocument(std::move(doc), build);
+  if (!built.ok()) {
+    Divergence d;
+    d.seed = seed;
+    d.detail = "build failed: " + built.status().ToString();
+    report.divergences.push_back(std::move(d));
+    return report;
+  }
+  const XKSearch& engine = **built;
+
+  // --- Queries. ---
+  for (size_t q = 0; q < options.queries_per_collection; ++q) {
+    std::vector<std::string> keywords;
+    const size_t k = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options.min_keywords),
+                       static_cast<int64_t>(options.max_keywords)));
+    for (size_t i = 0; i < k; ++i) {
+      if (i > 0 && rng.Bernoulli(0.15)) {
+        // Duplicate keyword: slca({S,S,..}) must equal slca over the
+        // distinct sets.
+        keywords.push_back(keywords[rng.Uniform(keywords.size())]);
+      } else if (rng.Bernoulli(0.08)) {
+        // Keyword absent from the document: every path must agree on the
+        // empty answer.
+        keywords.push_back("absentkeyword");
+      } else {
+        keywords.push_back(vocab[rng.Uniform(vocab.size())]);
+      }
+    }
+
+    CaseContext ctx{seed, &report, &keywords};
+
+    // Ground truth: linear-time tree oracle, independent of the paper's
+    // algorithms, plus the brute-force enumeration as a second opinion.
+    Result<std::vector<DeweyId>> oracle_slca =
+        OracleSlca(engine.document(), engine.index(), keywords);
+    Result<std::vector<DeweyId>> oracle_lca =
+        OracleAllLca(engine.document(), engine.index(), keywords);
+    Result<std::vector<DeweyId>> oracle_elca =
+        OracleElca(engine.document(), engine.index(), keywords);
+    if (!oracle_slca.ok() || !oracle_lca.ok() || !oracle_elca.ok()) {
+      ctx.Diverge("oracle failed: " + oracle_slca.status().ToString());
+      continue;
+    }
+
+    // Brute force (the fourth algorithm) over the raw keyword lists.
+    // Its cost is the product of the list sizes, so skip it when the
+    // enumeration would dwarf everything else the case checks — big
+    // collections are covered by the other four paths plus the oracle.
+    {
+      std::vector<std::vector<DeweyId>> lists;
+      bool all_present = true;
+      uint64_t combinations = 1;
+      for (const std::string& kw : keywords) {
+        const std::vector<DeweyId>* list = engine.index().Find(kw);
+        if (list == nullptr) {
+          all_present = false;
+          break;
+        }
+        combinations *= std::max<uint64_t>(1, list->size());
+        lists.push_back(*list);
+      }
+      constexpr uint64_t kMaxBruteForceCombinations = 200'000;
+      if (!all_present || combinations <= kMaxBruteForceCombinations) {
+        const std::vector<DeweyId> brute =
+            all_present ? BruteForceSlca(lists) : std::vector<DeweyId>{};
+        ctx.CheckIds("brute-force", brute, *oracle_slca);
+      }
+      // Paper Section 2 identity: slca = removeAncestors(allLca).
+      ctx.CheckIds("removeAncestors(allLca)", RemoveAncestors(*oracle_lca),
+                   *oracle_slca);
+    }
+
+    // In-memory paths: all three algorithms, then the two other
+    // semantics.
+    for (AlgorithmChoice algorithm : kAlgorithms) {
+      SearchOptions so;
+      so.algorithm = algorithm;
+      so.block_size = static_cast<size_t>(rng.UniformInt(1, 4));
+      ctx.Check(AlgorithmLabel(algorithm, false),
+                engine.Search(keywords, so), *oracle_slca);
+    }
+    {
+      SearchOptions so;
+      so.semantics = Semantics::kElca;
+      ctx.Check("mem/elca", engine.Search(keywords, so), *oracle_elca);
+      so.semantics = Semantics::kAllLca;
+      ctx.Check("mem/all-lca", engine.Search(keywords, so), *oracle_lca);
+    }
+
+    if (!options.with_disk) continue;
+
+    // Disk paths (fault-free): same checks through pools + B+trees.
+    for (AlgorithmChoice algorithm : kAlgorithms) {
+      SearchOptions so;
+      so.algorithm = algorithm;
+      so.use_disk_index = true;
+      so.block_size = static_cast<size_t>(rng.UniformInt(1, 4));
+      ctx.Check(AlgorithmLabel(algorithm, true), engine.Search(keywords, so),
+                *oracle_slca);
+    }
+    {
+      SearchOptions so;
+      so.use_disk_index = true;
+      so.semantics = Semantics::kElca;
+      ctx.Check("disk/elca", engine.Search(keywords, so), *oracle_elca);
+      so.semantics = Semantics::kAllLca;
+      ctx.Check("disk/all-lca", engine.Search(keywords, so), *oracle_lca);
+    }
+
+    if (!options.with_faults) continue;
+
+    // Fault round: arm a transient probabilistic read-fault schedule and
+    // run one disk query per algorithm. Contract: the query either
+    // succeeds with the oracle answer (fault missed it, or hit only
+    // readahead) or fails with the injected IoError — never a wrong
+    // answer, never a leaked pin. After disarming, the same query must
+    // succeed: a fault must not poison the pool.
+    for (AlgorithmChoice algorithm : kAlgorithms) {
+      for (FaultInjectingPageStore* w : wrappers) {
+        w->ClearFaults();
+        w->FailReadsWithProbability(options.fault_probability,
+                                    options.faults_per_round);
+        w->Arm();
+      }
+      SearchOptions so;
+      so.algorithm = algorithm;
+      so.use_disk_index = true;
+      Result<SearchResult> got = engine.Search(keywords, so);
+      ++report.cases;
+      if (got.ok()) {
+        ++report.fault_survivals;
+        if (!SameSet(got->nodes, *oracle_slca)) {
+          ctx.Diverge(std::string(AlgorithmLabel(algorithm, true)) +
+                      " under faults returned wrong answer " +
+                      IdsToString(got->nodes) + ", oracle = " +
+                      IdsToString(*oracle_slca));
+        }
+      } else {
+        ++report.clean_fault_errors;
+        if (!got.status().IsIoError()) {
+          ctx.Diverge(std::string(AlgorithmLabel(algorithm, true)) +
+                      " under faults failed with non-IoError: " +
+                      got.status().ToString());
+        }
+      }
+      for (FaultInjectingPageStore* w : wrappers) {
+        w->Disarm();
+        w->ClearFaults();
+      }
+      const uint64_t il_pins = engine.disk_index()->il_pool()->DebugTotalPins();
+      const uint64_t scan_pins =
+          engine.disk_index()->scan_pool()->DebugTotalPins();
+      if (il_pins != 0 || scan_pins != 0) {
+        ctx.Diverge(std::string(AlgorithmLabel(algorithm, true)) +
+                    " under faults leaked pins: il=" + std::to_string(il_pins) +
+                    " scan=" + std::to_string(scan_pins));
+      }
+      // Recovery: the identical query, faults disarmed, must succeed.
+      ctx.Check("disk/recovery", engine.Search(keywords, so), *oracle_slca);
+    }
+  }
+  return report;
+}
+
+FuzzReport RunFuzz(uint64_t first_seed, uint64_t count,
+                   const FuzzOptions& options) {
+  FuzzReport total;
+  for (uint64_t i = 0; i < count; ++i) {
+    total.Merge(RunFuzzCase(first_seed + i, options));
+  }
+  return total;
+}
+
+}  // namespace fuzz
+}  // namespace xksearch

@@ -1,0 +1,87 @@
+#ifndef XKSEARCH_FUZZ_HARNESS_H_
+#define XKSEARCH_FUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xksearch {
+namespace fuzz {
+
+/// \brief Knobs for one differential fuzz run.
+///
+/// Every case is fully determined by (seed, options): the seed drives the
+/// tree shape, the vocabulary, the pool geometry, the queries and the
+/// fault schedule, so any reported divergence replays from its printed
+/// seed alone.
+struct FuzzOptions {
+  /// Random tree size range (element nodes).
+  size_t min_nodes = 8;
+  size_t max_nodes = 120;
+  /// Vocabulary size range ("w0".."wN").
+  size_t min_vocab = 2;
+  size_t max_vocab = 10;
+  /// Keywords per query (duplicates and absent keywords are mixed in).
+  size_t min_keywords = 1;
+  size_t max_keywords = 4;
+  /// Queries evaluated against each generated collection.
+  size_t queries_per_collection = 4;
+  /// Also run every query through the disk path (in-memory page store,
+  /// deliberately tiny buffer pools so reads actually happen).
+  bool with_disk = true;
+  /// Inject transient read faults into the disk path: each query round
+  /// arms a fresh probabilistic fault schedule, asserts that a failing
+  /// query fails cleanly (IoError status, zero leaked pins), then
+  /// disarms and asserts the retry succeeds and matches the oracle.
+  bool with_faults = false;
+  /// Per-read fault probability while armed.
+  double fault_probability = 0.25;
+  /// Faults per armed round before the schedule exhausts (transient
+  /// faults must recover; kForever would starve the retry).
+  uint64_t faults_per_round = 4;
+};
+
+/// \brief One observed disagreement, minimized to its replay coordinates.
+struct Divergence {
+  uint64_t seed = 0;
+  std::vector<std::string> keywords;
+  /// Which comparison failed and how (human-readable).
+  std::string detail;
+};
+
+/// \brief Aggregate outcome of a fuzz run.
+struct FuzzReport {
+  uint64_t collections = 0;
+  /// (collection, query, semantics) evaluations cross-checked.
+  uint64_t cases = 0;
+  /// Fault-mode queries that failed with a clean injected error.
+  uint64_t clean_fault_errors = 0;
+  /// Fault-mode queries that succeeded despite the armed schedule.
+  uint64_t fault_survivals = 0;
+  std::vector<Divergence> divergences;
+
+  bool ok() const { return divergences.empty(); }
+  void Merge(const FuzzReport& other);
+};
+
+/// Renders one divergence as a copy-pasteable repro line.
+std::string FormatDivergence(const Divergence& d);
+
+/// Runs the full differential check over one seeded collection: random
+/// document -> in-memory engine + (optionally) disk index; each sampled
+/// query is evaluated with Indexed Lookup Eager, Scan Eager and Stack on
+/// both paths plus the brute-force enumeration, all compared against the
+/// linear-time TreeOracle; ELCA and All-LCA semantics are cross-checked
+/// the same way. Never throws or aborts on divergence — every mismatch
+/// becomes a Divergence in the report.
+FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options);
+
+/// Runs `count` collections with seeds first_seed, first_seed+1, ... and
+/// merges the reports.
+FuzzReport RunFuzz(uint64_t first_seed, uint64_t count,
+                   const FuzzOptions& options);
+
+}  // namespace fuzz
+}  // namespace xksearch
+
+#endif  // XKSEARCH_FUZZ_HARNESS_H_

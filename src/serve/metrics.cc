@@ -61,6 +61,7 @@ std::string MetricsRegistry::ReportText(const Gauges& gauges) const {
   os << "  deadline_exceeded: " << static_cast<uint64_t>(deadline_exceeded)
      << "\n";
   os << "  failed:          " << static_cast<uint64_t>(failed) << "\n";
+  os << "  io_errors:       " << static_cast<uint64_t>(io_errors) << "\n";
   os << std::fixed << std::setprecision(1);
   os << "latency_us:        mean=" << latency.MeanNanos() / 1e3
      << " p50=" << static_cast<double>(latency.PercentileNanos(0.50)) / 1e3

@@ -69,6 +69,9 @@ class MetricsRegistry {
   RelaxedCounter deadline_exceeded;
   /// Engine-reported errors.
   RelaxedCounter failed;
+  /// Subset of `failed` caused by storage I/O errors (kIoError status):
+  /// the signal an operator watches for failing disks under the index.
+  RelaxedCounter io_errors;
 
   /// End-to-end latency of completed requests (both hit and miss paths).
   LatencyHistogram request_latency;

@@ -126,6 +126,7 @@ std::future<Result<QueryResponse>> QueryService::SubmitWithTimeout(
     Result<SearchResult> result = RunQuery(keywords, options);
     if (!result.ok()) {
       ++metrics_.failed;
+      if (result.status().IsIoError()) ++metrics_.io_errors;
       promise->set_value(result.status());
       return;
     }

@@ -54,10 +54,15 @@ Result<BufferPool::Frame*> BufferPool::PinFrame(PageId id, QueryStats* stats,
     if (it != shard.frames.end()) {
       Frame& frame = it->second;
       if (frame.loading) {
-        // Another thread's read is in flight; wait and re-find (the
-        // frame is erased if that read fails, so loop from the top).
-        shard.cv.wait(lock);
-        continue;
+        // Another thread's read is in flight: coalesce onto it. Hold the
+        // shared LoadState (the frame itself is erased if the read
+        // fails) and wait for the loader's verdict; a failed load wakes
+        // every waiter with the loader's error instead of letting each
+        // waiter silently re-issue the read.
+        std::shared_ptr<internal::LoadState> load = frame.load;
+        shard.cv.wait(lock, [&load] { return load->done; });
+        if (!load->status.ok()) return load->status;
+        continue;  // re-find: the frame is resident now (or evicted; retry)
       }
       frame.pin_count.fetch_add(1, std::memory_order_relaxed);
       shard.lru.splice(shard.lru.begin(), shard.lru, frame.lru_pos);
@@ -92,6 +97,8 @@ Result<BufferPool::Frame*> BufferPool::PinFrame(PageId id, QueryStats* stats,
     frame.page = std::make_unique<Page>();
     frame.pin_count.store(1, std::memory_order_relaxed);
     frame.loading = true;
+    frame.load = std::make_shared<internal::LoadState>();
+    std::shared_ptr<internal::LoadState> load = frame.load;
     shard.lru.push_front(id);
     frame.lru_pos = shard.lru.begin();
 
@@ -100,6 +107,8 @@ Result<BufferPool::Frame*> BufferPool::PinFrame(PageId id, QueryStats* stats,
     lock.lock();
     // The frame cannot have moved or been evicted meanwhile: map nodes
     // have stable addresses and eviction skips loading frames.
+    load->done = true;
+    load->status = read;
     if (!read.ok()) {
       shard.lru.erase(frame.lru_pos);
       shard.frames.erase(id);
@@ -107,6 +116,7 @@ Result<BufferPool::Frame*> BufferPool::PinFrame(PageId id, QueryStats* stats,
       return read;
     }
     frame.loading = false;
+    frame.load.reset();
     if (mark_dirty) frame.dirty = true;
     shard.cv.notify_all();
     return &frame;
@@ -205,12 +215,19 @@ Result<bool> BufferPool::LoadIfAbsent(PageId id, bool evict_if_full) {
   Frame& frame = shard.frames[id];
   frame.page = std::make_unique<Page>();
   frame.loading = true;
+  // Demand fetches can coalesce onto a speculative load (PinFrame waits
+  // on any loading frame), so speculative loads publish their outcome
+  // through the same shared LoadState protocol.
+  frame.load = std::make_shared<internal::LoadState>();
+  std::shared_ptr<internal::LoadState> load = frame.load;
   shard.lru.push_front(id);
   frame.lru_pos = shard.lru.begin();
 
   lock.unlock();
   const Status read = store_->ReadPage(id, frame.page.get());
   lock.lock();
+  load->done = true;
+  load->status = read;
   if (!read.ok()) {
     shard.lru.erase(frame.lru_pos);
     shard.frames.erase(id);
@@ -218,6 +235,7 @@ Result<bool> BufferPool::LoadIfAbsent(PageId id, bool evict_if_full) {
     return read;
   }
   frame.loading = false;
+  frame.load.reset();
   shard.cv.notify_all();
   return true;
 }
@@ -254,6 +272,17 @@ size_t BufferPool::resident() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->frames.size();
+  }
+  return total;
+}
+
+uint64_t BufferPool::DebugTotalPins() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, frame] : shard->frames) {
+      total += frame.pin_count.load(std::memory_order_acquire);
+    }
   }
   return total;
 }

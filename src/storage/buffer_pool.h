@@ -21,6 +21,16 @@ class BufferPool;
 
 namespace internal {
 
+/// Outcome slot of one in-flight page read, shared between the loading
+/// thread and every fetch that coalesced onto it. Guarded by the shard
+/// mutex. Waiters keep a shared_ptr so a failed load — which erases its
+/// placeholder frame — still delivers the error to everyone who waited
+/// on it instead of leaving them to rediscover (or mask) the fault.
+struct LoadState {
+  bool done = false;
+  Status status;
+};
+
 /// One cached page frame. Owned by a pool shard; the pin count is atomic
 /// so releasing a pin (the hottest concurrent operation) is a single
 /// lock-free decrement. All other fields are guarded by the shard mutex.
@@ -32,8 +42,9 @@ struct PoolFrame {
   std::list<PageId>::iterator lru_pos;
   bool dirty = false;
   /// A read is in flight: the page bytes are not yet valid. Waiters
-  /// block on the shard's condition variable.
+  /// block on the shard's condition variable holding a copy of `load`.
   bool loading = false;
+  std::shared_ptr<LoadState> load;
 };
 
 }  // namespace internal
@@ -195,6 +206,11 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   size_t shards() const { return shards_.size(); }
   size_t resident() const;
+  /// Test hook: sum of every resident frame's pin count (plus any
+  /// in-flight loading placeholders, which hold their loader's pin).
+  /// A quiesced pool — no live PageRef/MutPageRef — must report zero;
+  /// fault tests assert this after every injected error.
+  uint64_t DebugTotalPins() const;
   uint64_t total_misses() const {
     return total_misses_.load(std::memory_order_relaxed);
   }

@@ -100,6 +100,14 @@ Result<std::unique_ptr<DiskIndex>> DiskIndex::Build(
     XKS_ASSIGN_OR_RETURN(index->dict_store_,
                          FilePageStore::Create(path_prefix + ".dict"));
   }
+  if (options.store_decorator) {
+    index->il_store_ =
+        options.store_decorator(std::move(index->il_store_), "il");
+    index->scan_store_ =
+        options.store_decorator(std::move(index->scan_store_), "scan");
+    index->dict_store_ =
+        options.store_decorator(std::move(index->dict_store_), "dict");
+  }
 
   const LevelTable& table =
       options.compress_dewey ? src.level_table() : LevelTable();
@@ -193,6 +201,14 @@ Result<std::unique_ptr<DiskIndex>> DiskIndex::Open(
                        FilePageStore::Open(path_prefix + ".scan"));
   XKS_ASSIGN_OR_RETURN(index->dict_store_,
                        FilePageStore::Open(path_prefix + ".dict"));
+  if (options.store_decorator) {
+    index->il_store_ =
+        options.store_decorator(std::move(index->il_store_), "il");
+    index->scan_store_ =
+        options.store_decorator(std::move(index->scan_store_), "scan");
+    index->dict_store_ =
+        options.store_decorator(std::move(index->dict_store_), "dict");
+  }
   XKS_RETURN_NOT_OK(index->InitTreesAndDict(options));
   return index;
 }

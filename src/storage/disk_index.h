@@ -2,6 +2,7 @@
 #define XKSEARCH_STORAGE_DISK_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -47,6 +48,13 @@ struct DiskIndexOptions {
   bool compress_dewey = true;
   /// Prefix-delta compression inside posting blocks (ablation X2).
   bool delta_compress = true;
+  /// Test hook: wraps each page store the index creates (Build and Open)
+  /// before any pool or tree touches it. `name` is "il", "scan" or
+  /// "dict". Fault-injection tests interpose FaultInjectingPageStore
+  /// here; returning the store unchanged is always valid.
+  std::function<std::unique_ptr<PageStore>(std::unique_ptr<PageStore>,
+                                           std::string_view name)>
+      store_decorator;
 };
 
 /// \brief The XKSearch on-disk index (paper Section 4).

@@ -1,0 +1,151 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace xksearch {
+
+FaultInjectingPageStore::FaultInjectingPageStore(PageStore* inner,
+                                                 uint64_t rng_seed)
+    : inner_(inner), rng_(rng_seed) {}
+
+FaultInjectingPageStore::FaultInjectingPageStore(
+    std::unique_ptr<PageStore> inner, uint64_t rng_seed)
+    : inner_(inner.get()), owned_inner_(std::move(inner)), rng_(rng_seed) {}
+
+void FaultInjectingPageStore::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(ActiveRule{std::move(rule), 0, 0});
+}
+
+void FaultInjectingPageStore::FailNthRead(uint64_t n, StatusCode code) {
+  FaultRule rule;
+  rule.op = FaultRule::Op::kRead;
+  rule.skip = n == 0 ? 0 : n - 1;
+  rule.code = code;
+  rule.message = "injected fault on read " + std::to_string(n);
+  AddRule(std::move(rule));
+}
+
+void FaultInjectingPageStore::FailNthWrite(uint64_t n, StatusCode code) {
+  FaultRule rule;
+  rule.op = FaultRule::Op::kWrite;
+  rule.skip = n == 0 ? 0 : n - 1;
+  rule.code = code;
+  rule.message = "injected fault on write " + std::to_string(n);
+  AddRule(std::move(rule));
+}
+
+void FaultInjectingPageStore::FailPageReads(PageId page, uint64_t times) {
+  FaultRule rule;
+  rule.op = FaultRule::Op::kRead;
+  rule.page = page;
+  rule.fire_limit = times;
+  rule.message = "injected fault reading page " + std::to_string(page);
+  AddRule(std::move(rule));
+}
+
+void FaultInjectingPageStore::FailReadsWithProbability(double p,
+                                                       uint64_t times) {
+  FaultRule rule;
+  rule.op = FaultRule::Op::kRead;
+  rule.probability = p;
+  rule.fire_limit = times;
+  rule.message = "injected probabilistic read fault";
+  AddRule(std::move(rule));
+}
+
+void FaultInjectingPageStore::TornWriteOnPage(PageId page) {
+  FaultRule rule;
+  rule.kind = FaultRule::Kind::kTornWrite;
+  rule.op = FaultRule::Op::kWrite;
+  rule.page = page;
+  rule.message = "injected torn write on page " + std::to_string(page);
+  AddRule(std::move(rule));
+}
+
+void FaultInjectingPageStore::AddReadLatency(
+    std::chrono::microseconds latency) {
+  FaultRule rule;
+  rule.kind = FaultRule::Kind::kLatency;
+  rule.op = FaultRule::Op::kRead;
+  rule.fire_limit = FaultRule::kForever;
+  rule.latency = latency;
+  AddRule(std::move(rule));
+}
+
+void FaultInjectingPageStore::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+}
+
+Status FaultInjectingPageStore::Consult(FaultRule::Op op, PageId id,
+                                        bool* torn) {
+  if (!armed()) return Status::OK();
+  std::chrono::microseconds sleep{0};
+  Status injected;  // OK unless an error rule fires
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ActiveRule& active : rules_) {
+      const FaultRule& rule = active.rule;
+      if (rule.op != FaultRule::Op::kAny && rule.op != op) continue;
+      if (rule.page.has_value() && *rule.page != id) continue;
+      const uint64_t match = active.matched++;
+      if (match < rule.skip) continue;
+      if (active.fired >= rule.fire_limit) continue;
+      if (rule.probability < 1.0 && !rng_.Bernoulli(rule.probability)) {
+        continue;
+      }
+      ++active.fired;
+      if (rule.kind == FaultRule::Kind::kLatency) {
+        // Latency stacks with other rules; keep scanning for errors.
+        sleep += rule.latency;
+        continue;
+      }
+      if (rule.kind == FaultRule::Kind::kTornWrite) *torn = true;
+      injected = Status(rule.code, rule.message);
+      break;
+    }
+  }
+  // Sleep outside the schedule lock so latency injection delays only this
+  // operation, not every concurrent one.
+  if (sleep.count() > 0) std::this_thread::sleep_for(sleep);
+  if (!injected.ok()) injected_errors_.fetch_add(1, std::memory_order_relaxed);
+  return injected;
+}
+
+Status FaultInjectingPageStore::ReadPage(PageId id, Page* out) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  bool torn = false;
+  XKS_RETURN_NOT_OK(Consult(FaultRule::Op::kRead, id, &torn));
+  return inner_->ReadPage(id, out);
+}
+
+Status FaultInjectingPageStore::WritePage(PageId id, const Page& page) {
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  bool torn = false;
+  const Status injected = Consult(FaultRule::Op::kWrite, id, &torn);
+  if (injected.ok()) return inner_->WritePage(id, page);
+  if (torn) {
+    // Half the new bytes land, the rest keeps whatever the store held
+    // (zeros if the page was never written): a crashed partial write.
+    Page partial;
+    if (!inner_->ReadPage(id, &partial).ok()) partial.Zero();
+    std::copy(page.data.begin(), page.data.begin() + kPageSize / 2,
+              partial.data.begin());
+    (void)inner_->WritePage(id, partial);
+  }
+  return injected;
+}
+
+Result<PageId> FaultInjectingPageStore::AllocatePage() {
+  // Allocation extends the file with a zero page: a write.
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  bool torn = false;
+  XKS_RETURN_NOT_OK(Consult(FaultRule::Op::kWrite, page_count(), &torn));
+  return inner_->AllocatePage();
+}
+
+Status FaultInjectingPageStore::Sync() { return inner_->Sync(); }
+
+}  // namespace xksearch

@@ -215,6 +215,86 @@ TEST(SlcaPropertyDeepTest, DeepTreesMatchOracle) {
   }
 }
 
+// Paper Section 2 identity: slca(S1..Sk) == removeAncestors(lca(S1..Sk)),
+// checked on 200+ seeded random collections for every algorithm variant.
+// Query shapes deliberately include single-keyword queries (slca(S) = S)
+// and duplicate keywords (repeating a set must not change the answer).
+TEST(SlcaIdentityTest, SlcaEqualsRemoveAncestorsOfAllLca) {
+  constexpr int kCollections = 200;
+  for (int c = 0; c < kCollections; ++c) {
+    Rng rng(10'000 + c);
+    RandomTreeOptions options;
+    options.node_count = 10 + rng.Uniform(80);
+    options.vocab_size = 2 + rng.Uniform(5);
+    options.max_depth = 4 + static_cast<uint32_t>(rng.Uniform(8));
+    const Document doc = GenerateRandomDocument(&rng, options);
+    InvertedIndex index = InvertedIndex::Build(doc);
+    const std::vector<std::string> vocab = RandomTreeVocabulary(options);
+
+    // One single-keyword query, one multi-keyword query and one query
+    // with a duplicated keyword per collection.
+    std::vector<std::vector<std::string>> queries;
+    queries.push_back({vocab[rng.Uniform(vocab.size())]});
+    {
+      std::vector<std::string> multi;
+      const size_t k = 2 + rng.Uniform(3);
+      for (size_t i = 0; i < k; ++i) {
+        multi.push_back(vocab[rng.Uniform(vocab.size())]);
+      }
+      queries.push_back(multi);
+      multi.push_back(multi[rng.Uniform(multi.size())]);  // duplicate
+      queries.push_back(multi);
+    }
+
+    for (const std::vector<std::string>& keywords : queries) {
+      std::vector<std::vector<DeweyId>> lists;
+      for (const std::string& kw : keywords) {
+        const std::vector<DeweyId>* list = index.Find(kw);
+        lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+      }
+
+      // The identity itself, with allLca from the tree oracle.
+      const TreeOracle oracle(doc, lists);
+      const std::vector<DeweyId> identity = RemoveAncestors(oracle.AllLca());
+      EXPECT_EQ(Strings(oracle.Slca()), Strings(identity))
+          << "oracle identity, collection " << c;
+
+      // And with allLca from the streaming algorithm, against the slca
+      // of every algorithm variant.
+      QueryStats stats;
+      std::vector<std::unique_ptr<KeywordList>> owned;
+      std::vector<KeywordList*> ptrs;
+      for (const auto& list : lists) {
+        owned.push_back(std::make_unique<VectorKeywordList>(&list, &stats));
+        ptrs.push_back(owned.back().get());
+      }
+      Result<std::vector<DeweyId>> all_lca =
+          ComputeAllLcaList(ptrs, {}, &stats);
+      ASSERT_TRUE(all_lca.ok()) << all_lca.status().ToString();
+      const std::vector<DeweyId> expected = RemoveAncestors(*all_lca);
+
+      for (SlcaAlgorithm algorithm :
+           {SlcaAlgorithm::kIndexedLookupEager, SlcaAlgorithm::kScanEager,
+            SlcaAlgorithm::kStack}) {
+        QueryStats algo_stats;
+        std::vector<std::unique_ptr<KeywordList>> algo_owned;
+        std::vector<KeywordList*> algo_ptrs;
+        for (const auto& list : lists) {
+          algo_owned.push_back(
+              std::make_unique<VectorKeywordList>(&list, &algo_stats));
+          algo_ptrs.push_back(algo_owned.back().get());
+        }
+        Result<std::vector<DeweyId>> slca =
+            ComputeSlcaList(algorithm, algo_ptrs, {}, &algo_stats);
+        ASSERT_TRUE(slca.ok()) << slca.status().ToString();
+        EXPECT_EQ(Strings(*slca), Strings(expected))
+            << ToString(algorithm) << " violates the Section 2 identity,"
+            << " collection " << c;
+      }
+    }
+  }
+}
+
 // Block size must never affect the result set, only delivery batching.
 TEST(SlcaPropertyTest, BlockSizeInvariance) {
   Rng rng(7);

@@ -1,6 +1,8 @@
 #include "index/tokenizer.h"
 
 #include "gtest/gtest.h"
+#include "index/inverted_index.h"
+#include "xml/parser.h"
 
 namespace xksearch {
 namespace {
@@ -43,6 +45,30 @@ TEST(TokenizerTest, StreamingMatchesBatch) {
   std::vector<std::string> streamed;
   TokenizeTo(text, {}, [&](std::string_view t) { streamed.emplace_back(t); });
   EXPECT_EQ(streamed, Tokenize(text));
+}
+
+// Degenerate text nodes must tokenize to nothing — and survive the whole
+// index path: a document whose text is all whitespace or punctuation
+// indexes cleanly with zero postings from those nodes.
+TEST(TokenizerTest, DegenerateTextNodes) {
+  EXPECT_TRUE(Tokenize(" \t\r\n  ").empty());
+  EXPECT_TRUE(Tokenize("?!.,;:-_()[]{}<>*&^%$#@~`'\"|\\/+=").empty());
+  EXPECT_TRUE(Tokenize("\xC3\xA9").empty());  // non-ASCII bytes separate
+
+  Result<Document> doc = ParseXml(
+      "<r><a>   </a><b>?!.,</b><c></c><d>\n\t</d><e>real words</e></r>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  InvertedIndex index = InvertedIndex::Build(*doc);
+  EXPECT_NE(index.Find("real"), nullptr);
+  EXPECT_NE(index.Find("words"), nullptr);
+  // Only tag names and the two real words: nothing leaked out of the
+  // degenerate text nodes.
+  for (const std::string& term : index.Terms()) {
+    EXPECT_TRUE(term == "r" || term == "a" || term == "b" || term == "c" ||
+                term == "d" || term == "e" || term == "real" ||
+                term == "words")
+        << "unexpected term: " << term;
+  }
 }
 
 TEST(NormalizeKeywordTest, NormalizesLikeIndexer) {

@@ -240,5 +240,64 @@ TEST(XmlParserTest, ParseFileMissingGivesIoError) {
   EXPECT_TRUE(doc.status().IsIoError());
 }
 
+// Unterminated constructs of every flavor: the parser must report a
+// clean ParseError (never crash, hang or return a half-built document).
+TEST(XmlParserTest, UnterminatedTagsGiveParseError) {
+  for (const char* xml : {
+           "<a>",                    // missing close tag
+           "<a><b></a>",             // mismatched close tag
+           "<a",                     // open tag never closed
+           "<a foo=\"bar\"",         // attribute list never closed
+           "<a foo=\"bar>text",      // attribute value never closed
+           "<a>text",                // document ends inside content
+           "<a><!-- comment </a>",   // comment never closed
+           "<a><![CDATA[stuff</a>",  // CDATA never closed
+           "<a></",                  // close tag cut short
+           "</a>",                   // close with no open
+       }) {
+    Result<Document> doc = ParseXml(xml);
+    EXPECT_TRUE(doc.status().IsParseError())
+        << "input: " << xml << " -> " << doc.status().ToString();
+  }
+}
+
+TEST(XmlParserTest, BadEntitiesGiveParseError) {
+  for (const char* xml : {
+           "<a>&bogus;</a>",     // unknown named entity
+           "<a>&unterminated",   // entity never closed
+           "<a>&#xZZ;</a>",      // non-hex digits
+           "<a>&#;</a>",         // empty numeric entity
+           "<a>&#x110000;</a>",  // beyond the Unicode range
+       }) {
+    Result<Document> doc = ParseXml(xml);
+    EXPECT_TRUE(doc.status().IsParseError())
+        << "input: " << xml << " -> " << doc.status().ToString();
+  }
+  // The well-formed entities still work.
+  Result<Document> ok = ParseXml("<a>&amp;&lt;&gt;&#65;</a>");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(XmlParserTest, NestingBeyondMaxDepthGivesParseError) {
+  ParserOptions options;
+  options.max_depth = 64;
+  std::string open, close;
+  for (int i = 0; i < 200; ++i) {
+    open += "<d>";
+    close += "</d>";
+  }
+  Result<Document> deep = ParseXml(open + close, options);
+  EXPECT_TRUE(deep.status().IsParseError()) << deep.status().ToString();
+
+  // Exactly at the limit parses fine.
+  std::string at_open, at_close;
+  for (uint32_t i = 0; i < options.max_depth; ++i) {
+    at_open += "<d>";
+    at_close += "</d>";
+  }
+  Result<Document> at_limit = ParseXml(at_open + at_close, options);
+  EXPECT_TRUE(at_limit.ok()) << at_limit.status().ToString();
+}
+
 }  // namespace
 }  // namespace xksearch

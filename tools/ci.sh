@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
 # Local CI: configure, build, and test the presets that gate a change.
 #
-#   release  full test suite under the optimized build
+#   release  full fast test suite under the optimized build
+#   asan     AddressSanitizer+UBSan over the same fast suite
 #   tsan     ThreadSanitizer over the concurrency-sensitive suites
 #            (preset filter in CMakePresets.json)
 #
-# Usage: tools/ci.sh [preset ...]     (default: release tsan)
+# The fast presets exclude tests labeled `slow`; those (the long-run
+# differential fuzz stages) run as a separate `ctest -L slow` stage on
+# the release build afterwards.
+#
+# Usage: tools/ci.sh [preset ...]     (default: release asan tsan + slow)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
+run_slow=0
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(release tsan)
+  presets=(release asan tsan)
+  run_slow=1
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -23,4 +30,9 @@ for preset in "${presets[@]}"; do
   echo "==> [$preset] test"
   ctest --preset "$preset"
 done
+
+if [ "$run_slow" -eq 1 ]; then
+  echo "==> [slow] long-run fuzz/stress stage (ctest -L slow, release build)"
+  ctest --test-dir build/release -L slow --output-on-failure
+fi
 echo "ci: all presets passed (${presets[*]})"
