@@ -1,0 +1,272 @@
+// Layout ablation: the packed prefix-truncated posting arenas against the
+// classic vector-of-DeweyId lists, on the same DBLP-shaped corpus.
+//
+//  * {Packed,Vector}Match{Ascending,Random}: one lm + one rm per
+//    iteration, the unit of the paper's "# operations". Ascending probes
+//    replay the nondecreasing sequences the eager SLCA chains generate
+//    (the packed gallop hint's home turf); random probes force the cold
+//    block binary search every time.
+//  * AppendPacked/AppendVector: posting ingestion throughput, the build
+//    side of the layout swap.
+//  * IndexBuild: end-to-end InvertedIndex::Build on a DBLP slice.
+//
+// Before the timing runs, one JSON line per frequency class (plus a
+// whole-index line) records bytes-per-posting of both layouts —
+// tools/bench_to_csv.py turns them into packed_footprint.csv.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "gen/dblp_generator.h"
+#include "slca/keyword_list.h"
+#include "slca/packed_list.h"
+
+namespace xksearch {
+namespace bench {
+namespace {
+
+const PackedDeweyList& PackedList(uint64_t frequency) {
+  Corpus& corpus = Corpus::Get();
+  const std::string& kw = corpus.KeywordsFor(frequency).front();
+  const PackedDeweyList* list = corpus.system().index().Find(kw);
+  CheckOk(list == nullptr ? Status::Internal("missing planted keyword list")
+                          : Status::OK(),
+          "PackedList");
+  return *list;
+}
+
+const std::vector<DeweyId>& VectorList(uint64_t frequency) {
+  static std::map<uint64_t, std::vector<DeweyId>>* cache =
+      new std::map<uint64_t, std::vector<DeweyId>>();
+  auto it = cache->find(frequency);
+  if (it == cache->end()) {
+    it = cache->emplace(frequency, PackedList(frequency).Materialize()).first;
+  }
+  return it->second;
+}
+
+// Probes drawn from the list itself: ascending replays the list densely
+// in order (each probe >= the last, the shape the eager SLCA chains
+// produce — they walk every posting of the smallest list); random draws
+// uniformly so every hinted fast path misses.
+std::vector<DeweyId> Probes(uint64_t frequency, bool ascending) {
+  const std::vector<DeweyId>& list = VectorList(frequency);
+  std::vector<DeweyId> probes;
+  Rng rng(17);
+  if (ascending) {
+    probes = list;
+  } else {
+    for (size_t i = 0; i < 1024; ++i) {
+      probes.push_back(list[rng.Uniform(list.size())]);
+    }
+  }
+  return probes;
+}
+
+void MatchLoop(benchmark::State& state, KeywordList& list,
+               const std::vector<DeweyId>& probes) {
+  size_t i = 0;
+  DeweyId out;
+  for (auto _ : state) {
+    const DeweyId& probe = probes[i];
+    if (++i == probes.size()) i = 0;
+    Result<bool> rm = list.RightMatch(probe, &out);
+    benchmark::DoNotOptimize(rm.ok());
+    Result<bool> lm = list.LeftMatch(probe, &out);
+    benchmark::DoNotOptimize(lm.ok());
+  }
+  // One iteration = one lm + one rm.
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void PackedMatchAscending(benchmark::State& state) {
+  const uint64_t frequency = static_cast<uint64_t>(state.range(0));
+  const std::vector<DeweyId> probes = Probes(frequency, /*ascending=*/true);
+  QueryStats stats;
+  PackedKeywordList list(&PackedList(frequency), &stats);
+  MatchLoop(state, list, probes);
+}
+
+void VectorMatchAscending(benchmark::State& state) {
+  const uint64_t frequency = static_cast<uint64_t>(state.range(0));
+  const std::vector<DeweyId> probes = Probes(frequency, /*ascending=*/true);
+  QueryStats stats;
+  VectorKeywordList list(&VectorList(frequency), &stats);
+  MatchLoop(state, list, probes);
+}
+
+void PackedMatchRandom(benchmark::State& state) {
+  const uint64_t frequency = static_cast<uint64_t>(state.range(0));
+  const std::vector<DeweyId> probes = Probes(frequency, /*ascending=*/false);
+  QueryStats stats;
+  PackedKeywordList list(&PackedList(frequency), &stats);
+  MatchLoop(state, list, probes);
+}
+
+void VectorMatchRandom(benchmark::State& state) {
+  const uint64_t frequency = static_cast<uint64_t>(state.range(0));
+  const std::vector<DeweyId> probes = Probes(frequency, /*ascending=*/false);
+  QueryStats stats;
+  VectorKeywordList list(&VectorList(frequency), &stats);
+  MatchLoop(state, list, probes);
+}
+
+void AppendPacked(benchmark::State& state) {
+  const std::vector<DeweyId>& ids = VectorList(100000);
+  for (auto _ : state) {
+    PackedDeweyList list;
+    for (const DeweyId& id : ids) list.Append(id);
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+
+void AppendVector(benchmark::State& state) {
+  const std::vector<DeweyId>& ids = VectorList(100000);
+  for (auto _ : state) {
+    std::vector<DeweyId> list;
+    for (const DeweyId& id : ids) {
+      if (list.empty() || !(list.back() == id)) list.push_back(id);
+    }
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+
+// End-to-end Figure 8 shape (two keywords, low frequency fixed at 100,
+// high frequency = the arg) through the full engine, packed vs the
+// vector escape hatch — the before/after pair EXPERIMENTS.md records.
+void QueryBatch(benchmark::State& state, bool packed) {
+  Corpus& corpus = Corpus::Get();
+  const uint64_t high = static_cast<uint64_t>(state.range(0));
+  const std::vector<std::vector<std::string>> queries =
+      corpus.Queries({100, high}, kQueriesPerPoint);
+  SearchOptions options;
+  options.algorithm = AlgorithmChoice::kIndexedLookupEager;
+  options.use_packed_lists = packed;
+  size_t results = 0;
+  for (auto _ : state) {
+    results += RunBatch(corpus.system(), queries, options).total_results;
+  }
+  benchmark::DoNotOptimize(results);
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+
+void QueryHotPacked(benchmark::State& state) { QueryBatch(state, true); }
+void QueryHotVector(benchmark::State& state) { QueryBatch(state, false); }
+
+void IndexBuild(benchmark::State& state) {
+  DblpOptions options;
+  options.papers = static_cast<size_t>(state.range(0));
+  options.seed = 20050614;
+  Result<Document> doc = GenerateDblp(options);
+  CheckOk(doc.status(), "GenerateDblp");
+  for (auto _ : state) {
+    InvertedIndex index = InvertedIndex::Build(*doc);
+    benchmark::DoNotOptimize(index.total_postings());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(PackedMatchAscending)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kNanosecond)
+    ->MinTime(0.1);
+BENCHMARK(VectorMatchAscending)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kNanosecond)
+    ->MinTime(0.1);
+BENCHMARK(PackedMatchRandom)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kNanosecond)
+    ->MinTime(0.1);
+BENCHMARK(VectorMatchRandom)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kNanosecond)
+    ->MinTime(0.1);
+BENCHMARK(QueryHotPacked)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+BENCHMARK(QueryHotVector)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+BENCHMARK(AppendPacked)->Unit(benchmark::kMillisecond)->MinTime(0.1);
+BENCHMARK(AppendVector)->Unit(benchmark::kMillisecond)->MinTime(0.1);
+BENCHMARK(IndexBuild)->Arg(2000)->Unit(benchmark::kMillisecond)->MinTime(0.1);
+
+// Resident bytes of a vector<DeweyId> list: the outer elements plus each
+// id's heap block (sizes, not capacities — the generous-to-vector bound).
+size_t VectorBytes(const std::vector<DeweyId>& ids) {
+  size_t bytes = ids.size() * sizeof(DeweyId);
+  for (const DeweyId& id : ids) bytes += id.depth() * sizeof(uint32_t);
+  return bytes;
+}
+
+void EmitFootprint() {
+  Corpus& corpus = Corpus::Get();
+  for (uint64_t frequency : kFrequencies) {
+    const PackedDeweyList& packed = PackedList(frequency);
+    const std::vector<DeweyId>& ids = VectorList(frequency);
+    const size_t vector_bytes = VectorBytes(ids);
+    std::printf(
+        "{\"bench\":\"packed_footprint\",\"frequency\":%llu,"
+        "\"postings\":%zu,\"packed_bytes\":%zu,\"vector_bytes\":%zu,"
+        "\"packed_bytes_per_posting\":%.2f,"
+        "\"vector_bytes_per_posting\":%.2f,\"ratio\":%.2f}\n",
+        static_cast<unsigned long long>(frequency), ids.size(),
+        packed.memory_bytes(), vector_bytes,
+        static_cast<double>(packed.memory_bytes()) /
+            static_cast<double>(ids.size()),
+        static_cast<double>(vector_bytes) / static_cast<double>(ids.size()),
+        static_cast<double>(vector_bytes) /
+            static_cast<double>(packed.memory_bytes()));
+  }
+
+  // Whole-index footprint, every term included.
+  size_t packed_total = 0, vector_total = 0, postings = 0;
+  for (const std::string& term : corpus.system().index().Terms()) {
+    const PackedDeweyList* list = corpus.system().index().Find(term);
+    packed_total += list->memory_bytes();
+    vector_total += sizeof(std::vector<DeweyId>) +
+                    VectorBytes(list->Materialize());
+    postings += list->size();
+  }
+  std::printf(
+      "{\"bench\":\"packed_footprint\",\"frequency\":0,"
+      "\"postings\":%zu,\"packed_bytes\":%zu,\"vector_bytes\":%zu,"
+      "\"packed_bytes_per_posting\":%.2f,"
+      "\"vector_bytes_per_posting\":%.2f,\"ratio\":%.2f}\n",
+      postings, packed_total, vector_total,
+      static_cast<double>(packed_total) / static_cast<double>(postings),
+      static_cast<double>(vector_total) / static_cast<double>(postings),
+      static_cast<double>(vector_total) / static_cast<double>(packed_total));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xksearch
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  xksearch::bench::EmitFootprint();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -70,7 +70,9 @@ size_t DeweyId::CommonPrefixLength(const DeweyId& other) const {
 }
 
 DeweyId DeweyId::Lca(const DeweyId& other) const {
-  return Prefix(CommonPrefixLength(other));
+  // One allocation total: the prefix is taken as a view and materialized
+  // directly, never as an intermediate full-depth copy.
+  return FromView(view().Prefix(view().CommonPrefixLength(other.view())));
 }
 
 DeweyId DeweyId::Parent() const {
@@ -93,8 +95,7 @@ DeweyId DeweyId::NextSibling() const {
 
 DeweyId DeweyId::Prefix(size_t n) const {
   assert(n <= components_.size());
-  return DeweyId(
-      std::vector<uint32_t>(components_.begin(), components_.begin() + n));
+  return FromView(view().Prefix(n));
 }
 
 std::string DeweyId::ToString() const {

@@ -11,6 +11,64 @@
 
 namespace xksearch {
 
+/// \brief A non-owning view of a Dewey number: a span of components.
+///
+/// The hot match path (packed posting lists, block binary search, gallop
+/// probes) compares ids that live inside a decode scratch buffer or a
+/// flat skip-table arena; viewing them through DeweyView keeps every
+/// comparison, common-prefix and ancestry check allocation-free — a
+/// DeweyId (and its heap-owned component vector) is materialized only
+/// for the one id a match operation actually returns.
+class DeweyView {
+ public:
+  constexpr DeweyView() = default;
+  constexpr DeweyView(const uint32_t* data, size_t size)
+      : data_(data), size_(size) {}
+
+  constexpr const uint32_t* data() const { return data_; }
+  constexpr size_t depth() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr uint32_t component(size_t i) const { return data_[i]; }
+  constexpr uint32_t back() const { return data_[size_ - 1]; }
+
+  /// Three-way document-order comparison, charging one component
+  /// comparison per step to `cmp_count` exactly like DeweyId::Compare.
+  int Compare(DeweyView other, uint64_t* cmp_count = nullptr) const {
+    const size_t n = size_ < other.size_ ? size_ : other.size_;
+    for (size_t i = 0; i < n; ++i) {
+      if (cmp_count != nullptr) ++*cmp_count;
+      if (data_[i] != other.data_[i]) {
+        return data_[i] < other.data_[i] ? -1 : 1;
+      }
+    }
+    if (cmp_count != nullptr) ++*cmp_count;
+    if (size_ == other.size_) return 0;
+    return size_ < other.size_ ? -1 : 1;
+  }
+
+  size_t CommonPrefixLength(DeweyView other) const {
+    const size_t n = size_ < other.size_ ? size_ : other.size_;
+    size_t i = 0;
+    while (i < n && data_[i] == other.data_[i]) ++i;
+    return i;
+  }
+
+  bool IsAncestorOrSelf(DeweyView other) const {
+    if (size_ > other.size_) return false;
+    for (size_t i = 0; i < size_; ++i) {
+      if (data_[i] != other.data_[i]) return false;
+    }
+    return true;
+  }
+
+  /// First `n` components (n <= depth()); still non-owning.
+  constexpr DeweyView Prefix(size_t n) const { return DeweyView(data_, n); }
+
+ private:
+  const uint32_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// \brief A Dewey number identifying a node in a labeled ordered tree.
 ///
 /// The Dewey number of a node is the Dewey number of its parent followed by
@@ -34,6 +92,27 @@ class DeweyId {
 
   /// Parses "0.1.12" (or "" for the empty id). Rejects malformed input.
   static Result<DeweyId> Parse(const std::string& text);
+
+  /// Materializes a view into an owning id (the one allocation a packed
+  /// match operation pays, for the id it returns).
+  static DeweyId FromView(DeweyView view) {
+    return DeweyId(
+        std::vector<uint32_t>(view.data(), view.data() + view.depth()));
+  }
+
+  /// Copies a view's components into this id, reusing the existing
+  /// component buffer's capacity. The match loops return each result
+  /// through a caller-reused DeweyId, so this (not FromView) keeps the
+  /// steady-state match path entirely allocation-free.
+  void AssignFrom(DeweyView view) {
+    components_.assign(view.data(), view.data() + view.depth());
+  }
+
+  /// Non-owning view of the components; valid while *this is alive and
+  /// unmodified.
+  DeweyView view() const {
+    return DeweyView(components_.data(), components_.size());
+  }
 
   const std::vector<uint32_t>& components() const { return components_; }
   size_t depth() const { return components_.size(); }

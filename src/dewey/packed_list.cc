@@ -1,0 +1,255 @@
+#include "dewey/packed_list.h"
+
+#include <cassert>
+
+#include "common/bitio.h"
+
+namespace xksearch {
+
+bool PackedDeweyList::Append(const DeweyId& id) {
+  assert(!id.empty() && "cannot store the empty super-root id");
+  const DeweyView v = id.view();
+  const DeweyView prev(prev_.data(), prev_.size());
+  if (size_ != 0) {
+    const int order = prev.Compare(v);
+    assert(order <= 0 && "PackedDeweyList requires nondecreasing appends");
+    if (order == 0) return false;  // dedupe
+  }
+
+  size_t shared;
+  if (size_ % block_size_ == 0) {
+    // Block boundary: store the id in full and decode it eagerly into
+    // the skip table so block search never touches the arena.
+    assert(arena_.size() <= 0xffffffffull && firsts_.size() <= 0xffffffffull);
+    blocks_.push_back(BlockRef{static_cast<uint32_t>(arena_.size()),
+                               static_cast<uint32_t>(firsts_.size()),
+                               static_cast<uint32_t>(v.depth())});
+    firsts_.insert(firsts_.end(), v.data(), v.data() + v.depth());
+    shared = 0;
+  } else {
+    shared = prev.CommonPrefixLength(v);
+  }
+
+  PutVarint32(&arena_, static_cast<uint32_t>(shared));
+  PutVarint32(&arena_, static_cast<uint32_t>(v.depth() - shared));
+  for (size_t i = shared; i < v.depth(); ++i) {
+    PutVarint32(&arena_, v.component(i));
+  }
+
+  prev_.assign(v.data(), v.data() + v.depth());
+  ++size_;
+  return true;
+}
+
+void PackedDeweyList::DecodeEntry(size_t* pos,
+                                  std::vector<uint32_t>* comps) const {
+  uint32_t shared = 0;
+  uint32_t added = 0;
+  bool ok = GetVarint32(arena_.data(), arena_.size(), pos, &shared) &&
+            GetVarint32(arena_.data(), arena_.size(), pos, &added);
+  assert(ok && shared <= comps->size());
+  comps->resize(shared);
+  for (uint32_t i = 0; i < added; ++i) {
+    uint32_t c = 0;
+    ok = GetVarint32(arena_.data(), arena_.size(), pos, &c);
+    assert(ok);
+    comps->push_back(c);
+  }
+  (void)ok;
+}
+
+void PackedDeweyList::LoadBlockFirst(size_t b, Probe* probe) const {
+  size_t pos = blocks_[b].arena_off;
+  probe->cur_.clear();  // block firsts have shared = 0
+  DecodeEntry(&pos, &probe->cur_);
+  probe->block_ = b;
+  probe->index_ = b * block_size_;
+  probe->next_byte_ = pos;
+  probe->at_end_ = false;
+  probe->valid_ = true;
+}
+
+PackedDeweyList::SeekResult PackedDeweyList::ScanBlockFrom(
+    DeweyView v, size_t b, size_t start, size_t pos, Probe* probe,
+    uint64_t* cmp_count) const {
+  // Precondition: probe->cur_ holds entry b*block_size_ + start, which
+  // compares < v; `pos` is the arena offset just past its encoding.
+  const size_t count = EntriesInBlock(b);
+  size_t in_block = start;
+  while (in_block + 1 < count) {
+    probe->pred_.assign(probe->cur_.begin(), probe->cur_.end());
+    probe->pred_valid_ = true;
+    DecodeEntry(&pos, &probe->cur_);
+    ++probe->index_;
+    ++in_block;
+    const int c =
+        DeweyView(probe->cur_.data(), probe->cur_.size()).Compare(v, cmp_count);
+    if (c >= 0) {
+      probe->next_byte_ = pos;
+      return SeekResult{true, c == 0, true};
+    }
+  }
+  // Every entry of block b from `start` on is < v.
+  probe->pred_.assign(probe->cur_.begin(), probe->cur_.end());
+  probe->pred_valid_ = true;
+  if (b + 1 == blocks_.size()) {
+    // End of list: remember the last entry as the predecessor of the
+    // (virtual) end position so hinted probes can keep answering.
+    probe->index_ = size_;
+    probe->at_end_ = true;
+    return SeekResult{false, false, true};
+  }
+  // The caller guarantees first(b + 1) > v (cold binary search picked b
+  // as the last block with first <= v; the gallop picks b the same way),
+  // so the next block's first entry is the lower bound.
+  LoadBlockFirst(b + 1, probe);
+  return SeekResult{true, false, true};
+}
+
+PackedDeweyList::SeekResult PackedDeweyList::SeekCold(
+    DeweyView v, Probe* probe, uint64_t* cmp_count) const {
+  if (size_ == 0) {
+    probe->valid_ = false;
+    return SeekResult{};
+  }
+  // First block whose first entry is > v.
+  size_t lo = 0;
+  size_t hi = blocks_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (BlockFirst(mid).Compare(v, cmp_count) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) {
+    // Even the very first entry is > v.
+    LoadBlockFirst(0, probe);
+    probe->pred_valid_ = false;
+    return SeekResult{true, false, false};
+  }
+  const size_t b = lo - 1;  // last block with first <= v
+  LoadBlockFirst(b, probe);
+  probe->pred_valid_ = false;
+  const int c =
+      DeweyView(probe->cur_.data(), probe->cur_.size()).Compare(v, cmp_count);
+  if (c == 0) return SeekResult{true, true, false};
+  return ScanBlockFrom(v, b, 0, probe->next_byte_, probe, cmp_count);
+}
+
+PackedDeweyList::SeekResult PackedDeweyList::Seek(DeweyView v, bool hinted,
+                                                  Probe* probe,
+                                                  uint64_t* cmp_count) const {
+  if (!hinted || !probe->valid_) return SeekCold(v, probe, cmp_count);
+
+  if (probe->at_end_) {
+    // Every entry was < the previous target; pred_ is the list's last id.
+    if (DeweyView(probe->pred_.data(), probe->pred_.size())
+            .Compare(v, cmp_count) < 0) {
+      return SeekResult{false, false, true};
+    }
+    return SeekCold(v, probe, cmp_count);  // target regressed
+  }
+
+  const int c =
+      DeweyView(probe->cur_.data(), probe->cur_.size()).Compare(v, cmp_count);
+  if (c == 0) {
+    // Exact hit on the hinted position; lm = rm = v, no predecessor
+    // needed.
+    return SeekResult{true, true, probe->pred_valid_};
+  }
+  if (c > 0) {
+    // The hinted entry is past v. It is still the lower bound iff its
+    // predecessor is < v; otherwise the target regressed and the cold
+    // search takes over.
+    if (probe->index_ == 0) return SeekResult{true, false, false};
+    if (probe->pred_valid_ &&
+        DeweyView(probe->pred_.data(), probe->pred_.size())
+                .Compare(v, cmp_count) < 0) {
+      return SeekResult{true, false, true};
+    }
+    return SeekCold(v, probe, cmp_count);
+  }
+
+  // cur_ < v: gallop forward. First finish the current block.
+  {
+    const size_t start = probe->index_ - probe->block_ * block_size_;
+    const size_t count = EntriesInBlock(probe->block_);
+    size_t pos = probe->next_byte_;
+    size_t in_block = start;
+    while (in_block + 1 < count) {
+      probe->pred_.assign(probe->cur_.begin(), probe->cur_.end());
+      probe->pred_valid_ = true;
+      DecodeEntry(&pos, &probe->cur_);
+      ++probe->index_;
+      ++in_block;
+      const int ci = DeweyView(probe->cur_.data(), probe->cur_.size())
+                         .Compare(v, cmp_count);
+      if (ci >= 0) {
+        probe->next_byte_ = pos;
+        return SeekResult{true, ci == 0, true};
+      }
+    }
+    probe->next_byte_ = pos;
+  }
+  // Current block exhausted below v; its last entry is the predecessor
+  // so far.
+  probe->pred_.assign(probe->cur_.begin(), probe->cur_.end());
+  probe->pred_valid_ = true;
+  const size_t b = probe->block_;
+  if (b + 1 == blocks_.size()) {
+    probe->index_ = size_;
+    probe->at_end_ = true;
+    return SeekResult{false, false, true};
+  }
+  if (BlockFirst(b + 1).Compare(v, cmp_count) > 0) {
+    LoadBlockFirst(b + 1, probe);
+    return SeekResult{true, false, true};
+  }
+  // Exponential search over block firsts for the last block with
+  // first <= v, then binary search inside the bracketed range.
+  size_t low = b + 1;  // first(low) <= v
+  size_t step = 1;
+  while (low + step < blocks_.size() &&
+         BlockFirst(low + step).Compare(v, cmp_count) <= 0) {
+    low += step;
+    step *= 2;
+  }
+  size_t l = low + 1;
+  size_t h = low + step < blocks_.size() ? low + step : blocks_.size();
+  while (l < h) {
+    const size_t mid = (l + h) / 2;
+    if (BlockFirst(mid).Compare(v, cmp_count) <= 0) {
+      l = mid + 1;
+    } else {
+      h = mid;
+    }
+  }
+  const size_t target = l - 1;  // last block with first <= v
+  LoadBlockFirst(target, probe);
+  probe->pred_valid_ = false;
+  const int ct =
+      DeweyView(probe->cur_.data(), probe->cur_.size()).Compare(v, cmp_count);
+  if (ct == 0) return SeekResult{true, true, false};
+  return ScanBlockFrom(v, target, 0, probe->next_byte_, probe, cmp_count);
+}
+
+bool PackedDeweyList::Decoder::NextView(DeweyView* out) {
+  if (index_ >= list_->size_) return false;
+  list_->DecodeEntry(&pos_, &comps_);
+  ++index_;
+  *out = DeweyView(comps_.data(), comps_.size());
+  return true;
+}
+
+std::vector<DeweyId> PackedDeweyList::Materialize() const {
+  std::vector<DeweyId> out;
+  out.reserve(size_);
+  Decoder decoder(this);
+  DeweyId id;
+  while (decoder.Next(&id)) out.push_back(std::move(id));
+  return out;
+}
+
+}  // namespace xksearch

@@ -1,0 +1,199 @@
+#ifndef XKSEARCH_DEWEY_PACKED_LIST_H_
+#define XKSEARCH_DEWEY_PACKED_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dewey/dewey_id.h"
+
+namespace xksearch {
+
+/// \brief A sorted Dewey list stored as one contiguous prefix-truncated
+/// arena — the in-memory counterpart of the paper's Section 4 compressed
+/// posting blocks.
+///
+/// Layout: entries are appended in Dewey order as
+///   varint(shared-prefix length) varint(#new components) varint(component)*
+/// (the DeltaBlockEncoder wire format), partitioned into fixed-size
+/// blocks of `block_size` entries. The first entry of every block is
+/// stored in full (shared = 0) so blocks decode independently, and its
+/// components are additionally decoded eagerly into a flat side arena —
+/// the skip table — so locating a block is a branch-light binary search
+/// over DeweyView comparisons with no decoding at all.
+///
+/// Probing (lm/rm) is: block binary search on the skip table, then a
+/// forward decode-and-compare over at most `block_size` entries. The
+/// hinted variant (Seek with hinted = true) instead remembers the last
+/// probe position in the caller's Probe and gallops forward from it —
+/// exponential search over block-first ids, then the same in-block scan —
+/// exploiting the nondecreasing-probe property of the eager SLCA chains,
+/// which turns Indexed Lookup Eager's probe sequences near-sequential.
+/// A regressing probe target is detected and falls back to the cold
+/// binary search, so hinted results are identical for arbitrary targets.
+///
+/// All decode scratch lives in the caller-owned Probe (reused across
+/// calls), so the hot match path performs no per-id heap allocation;
+/// the one DeweyId a match operation returns is materialized by the
+/// caller from the DeweyView the probe exposes.
+///
+/// Thread safety: a built (no longer appended-to) list is immutable and
+/// may be probed from any number of threads, each with its own Probe.
+class PackedDeweyList {
+ public:
+  static constexpr size_t kDefaultBlockSize = 32;
+
+  explicit PackedDeweyList(size_t block_size = kDefaultBlockSize)
+      : block_size_(block_size == 0 ? 1 : block_size) {}
+
+  /// Appends `id` (non-empty, >= the last appended id in Dewey order).
+  /// Returns false (and appends nothing) when `id` equals the last
+  /// appended id, which gives builders dedup for free.
+  bool Append(const DeweyId& id);
+
+  /// Number of entries.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  size_t block_size() const { return block_size_; }
+  size_t block_count() const { return blocks_.size(); }
+
+  /// Bytes of the entry arena alone (the compression-ablation number).
+  size_t arena_bytes() const { return arena_.size(); }
+
+  /// Total resident bytes: arena + skip table + decoded block firsts.
+  size_t memory_bytes() const {
+    return arena_.capacity() * sizeof(uint8_t) +
+           blocks_.capacity() * sizeof(BlockRef) +
+           firsts_.capacity() * sizeof(uint32_t);
+  }
+
+  /// \brief Per-caller probe state: decode scratch plus the gallop hint.
+  ///
+  /// One Probe serves any number of Seek calls against one list; its
+  /// scratch buffers grow to the list's maximum depth once and are then
+  /// reused, so steady-state probing allocates nothing.
+  class Probe {
+   public:
+    Probe() = default;
+
+    /// Forgets the hint; the next Seek runs the cold binary search.
+    void Reset() { valid_ = false; }
+
+   private:
+    friend class PackedDeweyList;
+
+    std::vector<uint32_t> cur_;   // decoded entry at index_
+    std::vector<uint32_t> pred_;  // decoded entry at index_ - 1
+    bool valid_ = false;          // hint usable at all
+    bool at_end_ = false;         // index_ == size(): every entry < target
+    bool pred_valid_ = false;     // pred_ holds entry index_ - 1
+    size_t index_ = 0;            // global entry index of cur_
+    size_t block_ = 0;            // block containing cur_
+    size_t next_byte_ = 0;        // arena offset just past cur_'s encoding
+  };
+
+  struct SeekResult {
+    /// An entry >= v exists; lower_bound(probe) views it.
+    bool has_lower_bound = false;
+    /// The lower bound equals v (so lm(v) = rm(v) = v's entry).
+    bool exact = false;
+    /// predecessor(probe) views the greatest entry < v. Only guaranteed
+    /// to be populated when `exact` is false (an exact hit never needs
+    /// its predecessor: lm is the hit itself).
+    bool has_predecessor = false;
+  };
+
+  /// Positions `probe` at the lower bound of `v` (the first entry >= v)
+  /// and, when `exact` is false, at its predecessor. With `hinted` the
+  /// search gallops forward from the probe's previous position when that
+  /// is sound, falling back to the cold block binary search otherwise —
+  /// the result is identical either way. Component comparisons are
+  /// charged to `cmp_count` exactly like DeweyId::Compare.
+  SeekResult Seek(DeweyView v, bool hinted, Probe* probe,
+                  uint64_t* cmp_count = nullptr) const;
+
+  /// Views into the probe's state after Seek; valid until the next Seek
+  /// (or Reset) on that probe.
+  DeweyView lower_bound(const Probe& probe) const {
+    return DeweyView(probe.cur_.data(), probe.cur_.size());
+  }
+  DeweyView predecessor(const Probe& probe) const {
+    return DeweyView(probe.pred_.data(), probe.pred_.size());
+  }
+
+  /// \brief Forward-only decoder over the whole list (Scan-layout
+  /// consumers, the disk-index builder, differential tests).
+  class Decoder {
+   public:
+    explicit Decoder(const PackedDeweyList* list) : list_(list) {}
+
+    /// Decodes the next entry as a view into internal scratch (valid
+    /// until the next call). Returns false at the end of the list.
+    bool NextView(DeweyView* out);
+
+    /// Materializing variant; reuses `out`'s component capacity.
+    bool Next(DeweyId* out) {
+      DeweyView v;
+      if (!NextView(&v)) return false;
+      out->AssignFrom(v);
+      return true;
+    }
+
+   private:
+    const PackedDeweyList* list_;
+    size_t pos_ = 0;
+    size_t index_ = 0;
+    std::vector<uint32_t> comps_;
+  };
+
+  /// Decodes the whole list into owning ids (tests, oracles).
+  std::vector<DeweyId> Materialize() const;
+
+ private:
+  struct BlockRef {
+    uint32_t arena_off;  // where the block's first entry starts
+    uint32_t first_off;  // offset of the first id's components in firsts_
+    uint32_t first_len;  // its depth
+  };
+
+  DeweyView BlockFirst(size_t b) const {
+    return DeweyView(firsts_.data() + blocks_[b].first_off,
+                     blocks_[b].first_len);
+  }
+  size_t EntriesInBlock(size_t b) const {
+    const size_t begin = b * block_size_;
+    const size_t n = size_ - begin;
+    return n < block_size_ ? n : block_size_;
+  }
+
+  /// Decodes one entry at `*pos`, reusing `*comps` as the previous
+  /// entry's components (prefix truncation). Trusted input: the arena is
+  /// produced by Append in-process, so failures are logic errors.
+  void DecodeEntry(size_t* pos, std::vector<uint32_t>* comps) const;
+
+  /// Scans block `b` forward for the first entry >= v, starting at entry
+  /// `start` within the block whose encoding begins at `*pos`; on entry
+  /// `probe->cur_` must hold entry `start`'s components. Updates the
+  /// probe and returns the seek outcome (possibly positioned at the
+  /// first entry of block b + 1, or at the end of the list).
+  SeekResult ScanBlockFrom(DeweyView v, size_t b, size_t start, size_t pos,
+                           Probe* probe, uint64_t* cmp_count) const;
+
+  /// Cold path: block binary search, then ScanBlockFrom.
+  SeekResult SeekCold(DeweyView v, Probe* probe, uint64_t* cmp_count) const;
+
+  /// Positions the probe on the first entry of block `b` (no compare).
+  void LoadBlockFirst(size_t b, Probe* probe) const;
+
+  size_t block_size_;
+  size_t size_ = 0;
+  std::vector<uint8_t> arena_;
+  std::vector<BlockRef> blocks_;
+  std::vector<uint32_t> firsts_;
+  std::vector<uint32_t> prev_;  // last appended id (build side)
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_DEWEY_PACKED_LIST_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "slca/packed_list.h"
+
 namespace xksearch {
 
 namespace {
@@ -11,6 +13,9 @@ struct Term {
   std::string keyword;
   uint64_t frequency;
   std::unique_ptr<KeywordList> list;
+  /// Vector-layout escape hatch only: the decoded postings the adapter
+  /// points into.
+  std::unique_ptr<std::vector<DeweyId>> owned;
 };
 
 Result<std::vector<std::string>> Normalize(
@@ -45,6 +50,9 @@ PreparedQuery Assemble(std::vector<Term> terms) {
     if (term.frequency == 0) query.missing = true;
     query.keywords.push_back(std::move(term.keyword));
     query.lists.push_back(std::move(term.list));
+    if (term.owned != nullptr) {
+      query.materialized.push_back(std::move(term.owned));
+    }
   }
   return query;
 }
@@ -54,18 +62,25 @@ PreparedQuery Assemble(std::vector<Term> terms) {
 Result<PreparedQuery> PrepareQuery(const InvertedIndex& index,
                                    const std::vector<std::string>& keywords,
                                    const TokenizerOptions& tokenizer,
-                                   QueryStats* stats) {
+                                   QueryStats* stats,
+                                   bool use_packed_lists) {
   XKS_ASSIGN_OR_RETURN(std::vector<std::string> normalized,
                        Normalize(keywords, tokenizer));
   std::vector<Term> terms;
   for (std::string& kw : normalized) {
-    const std::vector<DeweyId>* list = index.Find(kw);
+    const PackedDeweyList* list = index.Find(kw);
     Term term;
     term.frequency = list == nullptr ? 0 : list->size();
-    term.list = list == nullptr
-                    ? std::unique_ptr<KeywordList>(new EmptyKeywordList())
-                    : std::unique_ptr<KeywordList>(
-                          new VectorKeywordList(list, stats));
+    if (list == nullptr) {
+      term.list = std::unique_ptr<KeywordList>(new EmptyKeywordList());
+    } else if (use_packed_lists) {
+      term.list =
+          std::unique_ptr<KeywordList>(new PackedKeywordList(list, stats));
+    } else {
+      term.owned = std::make_unique<std::vector<DeweyId>>(list->Materialize());
+      term.list = std::unique_ptr<KeywordList>(
+          new VectorKeywordList(term.owned.get(), stats));
+    }
     term.keyword = std::move(kw);
     terms.push_back(std::move(term));
   }

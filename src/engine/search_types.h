@@ -44,6 +44,14 @@ struct SearchOptions {
   /// Evaluate against the disk index (if built) instead of the in-memory
   /// lists; "disk accesses" then appear in the returned stats.
   bool use_disk_index = false;
+  /// In-memory layout escape hatch: by default lm/rm probe the packed
+  /// (prefix-truncated, skip-table) posting lists with gallop hints;
+  /// false materializes plain `std::vector<DeweyId>` lists per query and
+  /// runs the classic binary searches over them. Result sets and
+  /// match-operation counts are identical — the knob exists for
+  /// differential testing and layout benchmarks. Ignored on the disk
+  /// path.
+  bool use_packed_lists = true;
   /// Buffer size B for eager delivery (see SlcaOptions::block_size).
   size_t block_size = 1;
   /// kAuto picks Indexed Lookup when max frequency / min frequency is at
@@ -69,6 +77,7 @@ struct SearchOptionsHash {
     mix(static_cast<uint64_t>(o.algorithm));
     mix(static_cast<uint64_t>(o.semantics));
     mix(o.use_disk_index ? 1 : 0);
+    mix(o.use_packed_lists ? 1 : 0);
     mix(static_cast<uint64_t>(o.block_size));
     mix(std::bit_cast<uint64_t>(o.auto_ratio_threshold));
     return static_cast<size_t>(h);

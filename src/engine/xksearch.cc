@@ -99,7 +99,8 @@ Result<SearchResult> XKSearch::SearchStreaming(
     XKS_ASSIGN_OR_RETURN(prepared,
                          PrepareQuery(index_, keywords,
                                       index_options_.tokenizer,
-                                      &result.stats));
+                                      &result.stats,
+                                      options.use_packed_lists));
   }
 
   result.keywords = prepared.keywords;

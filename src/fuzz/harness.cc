@@ -220,13 +220,13 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
       bool all_present = true;
       uint64_t combinations = 1;
       for (const std::string& kw : keywords) {
-        const std::vector<DeweyId>* list = engine.index().Find(kw);
+        const PackedDeweyList* list = engine.index().Find(kw);
         if (list == nullptr) {
           all_present = false;
           break;
         }
         combinations *= std::max<uint64_t>(1, list->size());
-        lists.push_back(*list);
+        lists.push_back(list->Materialize());
       }
       constexpr uint64_t kMaxBruteForceCombinations = 200'000;
       if (!all_present || combinations <= kMaxBruteForceCombinations) {
@@ -239,14 +239,34 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
                    *oracle_slca);
     }
 
-    // In-memory paths: all three algorithms, then the two other
-    // semantics.
+    // In-memory paths: all three algorithms, each through both posting
+    // layouts. The packed (prefix-truncated arena) run and the
+    // materialized-vector run share the exact same options, so beyond
+    // both matching the oracle, their match-operation counts — the
+    // algorithm-level lm/rm calls of the paper's Table 1 — must be
+    // identical: the layout may only change how a match is answered,
+    // never how many are asked.
     for (AlgorithmChoice algorithm : kAlgorithms) {
       SearchOptions so;
       so.algorithm = algorithm;
       so.block_size = static_cast<size_t>(rng.UniformInt(1, 4));
-      ctx.Check(AlgorithmLabel(algorithm, false),
-                engine.Search(keywords, so), *oracle_slca);
+      const std::string label = AlgorithmLabel(algorithm, false);
+      Result<SearchResult> packed = engine.Search(keywords, so);
+      ctx.Check(label.c_str(), packed, *oracle_slca);
+      so.use_packed_lists = false;
+      const std::string vec_label = label + "/vector";
+      Result<SearchResult> vec = engine.Search(keywords, so);
+      ctx.Check(vec_label.c_str(), vec, *oracle_slca);
+      if (packed.ok() && vec.ok()) {
+        ++report.cases;
+        const uint64_t packed_ops = packed->stats.match_ops.load();
+        const uint64_t vec_ops = vec->stats.match_ops.load();
+        if (packed_ops != vec_ops) {
+          ctx.Diverge(label + " match_ops=" + std::to_string(packed_ops) +
+                      " but " + vec_label +
+                      " match_ops=" + std::to_string(vec_ops));
+        }
+      }
     }
     {
       SearchOptions so;

@@ -57,14 +57,20 @@ InvertedIndex InvertedIndex::Build(const Document& doc,
   return index;
 }
 
-const std::vector<DeweyId>* InvertedIndex::Find(std::string_view keyword) const {
+const PackedDeweyList* InvertedIndex::Find(std::string_view keyword) const {
   auto it = term_ids_.find(keyword);
   if (it == term_ids_.end()) return nullptr;
   return &lists_[it->second];
 }
 
+std::vector<DeweyId> InvertedIndex::Materialize(
+    std::string_view keyword) const {
+  const PackedDeweyList* list = Find(keyword);
+  return list == nullptr ? std::vector<DeweyId>{} : list->Materialize();
+}
+
 size_t InvertedIndex::Frequency(std::string_view keyword) const {
-  const std::vector<DeweyId>* list = Find(keyword);
+  const PackedDeweyList* list = Find(keyword);
   return list == nullptr ? 0 : list->size();
 }
 
@@ -79,11 +85,8 @@ void InvertedIndex::AddPosting(std::string_view keyword, const DeweyId& id) {
   } else {
     term = it->second;
   }
-  std::vector<DeweyId>& list = lists_[term];
-  assert(list.empty() || list.back().Compare(id) <= 0);
-  if (!list.empty() && list.back() == id) return;  // dedupe
-  list.push_back(id);
-  ++total_postings_;
+  // Append enforces nondecreasing order and dedupes equal ids.
+  if (lists_[term].Append(id)) ++total_postings_;
 }
 
 std::vector<std::string> InvertedIndex::Terms() const {

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "dewey/codec.h"
 #include "dewey/dewey_id.h"
+#include "dewey/packed_list.h"
 #include "index/tokenizer.h"
 #include "xml/document.h"
 
@@ -33,6 +34,12 @@ struct IndexOptions {
 /// `w`, sorted by id (Section 2). Text tokens are attributed to the text
 /// node itself; tag and attribute keywords to the element node. Building
 /// walks the document in preorder, so lists come out sorted for free.
+///
+/// Postings are stored as PackedDeweyLists — one contiguous
+/// prefix-truncated arena per keyword with a skip table for block binary
+/// search — rather than `std::vector<DeweyId>`, so neither index build
+/// nor the lm/rm hot path pays a heap allocation per posting. Callers
+/// that need owning ids (tests, oracles) use Materialize().
 class InvertedIndex {
  public:
   InvertedIndex() = default;
@@ -47,9 +54,14 @@ class InvertedIndex {
   static InvertedIndex Build(const Document& doc,
                              const IndexOptions& options = {});
 
-  /// The keyword list of `keyword` (already normalized), or nullptr if the
-  /// keyword does not occur in the document.
-  const std::vector<DeweyId>* Find(std::string_view keyword) const;
+  /// The packed keyword list of `keyword` (already normalized), or
+  /// nullptr if the keyword does not occur in the document.
+  const PackedDeweyList* Find(std::string_view keyword) const;
+
+  /// The keyword list decoded into owning ids (empty for unknown
+  /// keywords). For oracles, tests and the vector-layout escape hatch;
+  /// the query hot path probes the packed list directly.
+  std::vector<DeweyId> Materialize(std::string_view keyword) const;
 
   /// List size, i.e. the keyword frequency; 0 for unknown keywords.
   /// This is the paper's frequency table, used to pick the smallest list.
@@ -92,7 +104,7 @@ class InvertedIndex {
 
   std::unordered_map<std::string, uint32_t, TransparentHash, TransparentEq>
       term_ids_;
-  std::vector<std::vector<DeweyId>> lists_;
+  std::vector<PackedDeweyList> lists_;
   LevelTable level_table_;
   size_t total_postings_ = 0;
   IndexOptions options_;

@@ -152,8 +152,7 @@ Result<std::vector<std::vector<DeweyId>>> LookupLists(
   std::vector<std::vector<DeweyId>> lists;
   lists.reserve(keywords.size());
   for (const std::string& kw : keywords) {
-    const std::vector<DeweyId>* list = index.Find(kw);
-    lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+    lists.push_back(index.Materialize(kw));
   }
   return lists;
 }

@@ -63,8 +63,13 @@ size_t VectorKeywordList::LowerBound(const DeweyId& v) const {
 }
 
 Result<bool> VectorKeywordList::LeftMatch(const DeweyId& v, DeweyId* out) {
-  size_t pos = LowerBound(v);
-  if (pos < ids_->size() && (*ids_)[pos] == v) {
+  const size_t pos = LowerBound(v);
+  // The equality probe is a Dewey comparison like any other: charge it
+  // through Compare so cmp accounting is uniform across the vector and
+  // packed implementations (it used to go through operator==, silently
+  // uncounted).
+  DeweyCmpCharge charge(stats_);
+  if (pos < ids_->size() && (*ids_)[pos].Compare(v, charge.slot()) == 0) {
     *out = (*ids_)[pos];
     return true;
   }

@@ -1,0 +1,57 @@
+#include "slca/packed_list.h"
+
+namespace xksearch {
+
+namespace {
+
+class PackedIterator : public KeywordListIterator {
+ public:
+  PackedIterator(const PackedDeweyList* list, QueryStats* stats)
+      : decoder_(list), stats_(stats) {}
+
+  bool Next(DeweyId* out) override {
+    if (!decoder_.Next(out)) return false;
+    if (stats_ != nullptr) ++stats_->postings_read;
+    return true;
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  PackedDeweyList::Decoder decoder_;
+  QueryStats* stats_;
+  Status status_;
+};
+
+}  // namespace
+
+Result<bool> PackedKeywordList::LeftMatch(const DeweyId& v, DeweyId* out) {
+  DeweyCmpCharge charge(stats_);
+  const PackedDeweyList::SeekResult r =
+      list_->Seek(v.view(), hinted_, &probe_, charge.slot());
+  if (r.exact) {
+    out->AssignFrom(list_->lower_bound(probe_));
+    return true;
+  }
+  if (r.has_predecessor) {
+    out->AssignFrom(list_->predecessor(probe_));
+    return true;
+  }
+  return false;
+}
+
+Result<bool> PackedKeywordList::RightMatch(const DeweyId& v, DeweyId* out) {
+  DeweyCmpCharge charge(stats_);
+  const PackedDeweyList::SeekResult r =
+      list_->Seek(v.view(), hinted_, &probe_, charge.slot());
+  if (!r.has_lower_bound) return false;
+  out->AssignFrom(list_->lower_bound(probe_));
+  return true;
+}
+
+Result<std::unique_ptr<KeywordListIterator>> PackedKeywordList::NewIterator() {
+  return std::unique_ptr<KeywordListIterator>(
+      new PackedIterator(list_, stats_));
+}
+
+}  // namespace xksearch

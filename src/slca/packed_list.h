@@ -1,0 +1,52 @@
+#ifndef XKSEARCH_SLCA_PACKED_LIST_H_
+#define XKSEARCH_SLCA_PACKED_LIST_H_
+
+#include "common/stats.h"
+#include "dewey/packed_list.h"
+#include "slca/keyword_list.h"
+
+namespace xksearch {
+
+/// \brief KeywordList over a PackedDeweyList: the default in-memory hot
+/// match path.
+///
+/// lm/rm are a block binary search over the packed list's skip table
+/// followed by an in-block decode-and-compare; with `hinted` (the
+/// default) every probe remembers its position and the next one gallops
+/// forward from there, exploiting the nondecreasing-probe property of
+/// the eager SLCA chains (Indexed Lookup Eager's per-list probe
+/// sequences become near-sequential). Hinted and cold probing return
+/// identical answers for arbitrary targets — a regressing target falls
+/// back to the cold binary search — so the hint is purely a speedup.
+///
+/// All comparisons run on DeweyViews into the probe's reused scratch;
+/// the only DeweyId materialized per match operation is the one it
+/// returns. Component comparisons are charged to stats->dewey_comparisons
+/// and postings to stats->postings_read exactly like VectorKeywordList,
+/// and the match-operation counts of Table 1 are identical across the
+/// two layouts (the fuzz harness cross-checks this).
+///
+/// Not thread-safe (the probe hint is mutable state); build one per
+/// query, like every other KeywordList adapter.
+class PackedKeywordList : public KeywordList {
+ public:
+  /// `list` must stay alive for the lifetime of this object.
+  PackedKeywordList(const PackedDeweyList* list, QueryStats* stats,
+                    bool hinted = true)
+      : list_(list), stats_(stats), hinted_(hinted) {}
+
+  uint64_t size() const override { return list_->size(); }
+  Result<bool> LeftMatch(const DeweyId& v, DeweyId* out) override;
+  Result<bool> RightMatch(const DeweyId& v, DeweyId* out) override;
+  Result<std::unique_ptr<KeywordListIterator>> NewIterator() override;
+
+ private:
+  const PackedDeweyList* list_;
+  QueryStats* stats_;
+  bool hinted_;
+  PackedDeweyList::Probe probe_;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SLCA_PACKED_LIST_H_

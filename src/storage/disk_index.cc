@@ -123,7 +123,7 @@ Result<std::unique_ptr<DiskIndex>> DiskIndex::Build(
   {
     BPlusTreeBuilder builder(index->dict_store_.get());
     for (uint32_t id = 0; id < terms.size(); ++id) {
-      const std::vector<DeweyId>* list = src.Find(terms[id]);
+      const PackedDeweyList* list = src.Find(terms[id]);
       std::vector<uint8_t> value;
       PutVarint32(&value, id);
       PutVarint64(&value, list->size());
@@ -141,7 +141,9 @@ Result<std::unique_ptr<DiskIndex>> DiskIndex::Build(
     builder.SetMetadata(meta);
     std::string key;
     for (uint32_t id = 0; id < terms.size(); ++id) {
-      for (const DeweyId& node : *src.Find(terms[id])) {
+      PackedDeweyList::Decoder postings(src.Find(terms[id]));
+      DeweyId node;
+      while (postings.Next(&node)) {
         EncodeIlKey(codec, id, node, &key);
         XKS_RETURN_NOT_OK(builder.Add(key, ""));
       }
@@ -169,7 +171,9 @@ Result<std::unique_ptr<DiskIndex>> DiskIndex::Build(
                      reinterpret_cast<const char*>(payload.data()),
                      payload.size()));
       };
-      for (const DeweyId& node : *src.Find(terms[id])) {
+      PackedDeweyList::Decoder postings(src.Find(terms[id]));
+      DeweyId node;
+      while (postings.Next(&node)) {
         if (!have_first) {
           EncodeIlKey(codec, id, node, &key);
           have_first = true;

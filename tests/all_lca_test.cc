@@ -75,8 +75,8 @@ TEST(AllLcaTest, SingleKeywordListIsItsOwnLcaSet) {
 TEST(AllLcaTest, SchoolExampleIncludesSharedAncestors) {
   Document doc = BuildSchoolDocument();
   InvertedIndex index = InvertedIndex::Build(doc);
-  const std::vector<std::vector<DeweyId>> lists = {*index.Find("john"),
-                                                   *index.Find("ben")};
+  const std::vector<std::vector<DeweyId>> lists = {index.Materialize("john"),
+                                                   index.Materialize("ben")};
   Result<std::vector<DeweyId>> expected =
       OracleAllLca(doc, index, {"john", "ben"});
   ASSERT_TRUE(expected.ok());
@@ -143,9 +143,7 @@ TEST_P(AllLcaPropertyTest, MatchesTreeOracle) {
     const std::vector<std::string> vocab = RandomTreeVocabulary(options);
     std::vector<std::vector<DeweyId>> lists;
     for (size_t i = 0; i < param.query_size; ++i) {
-      const std::vector<DeweyId>* list =
-          index.Find(vocab[rng.Uniform(vocab.size())]);
-      lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+      lists.push_back(index.Materialize(vocab[rng.Uniform(vocab.size())]));
     }
     const std::vector<DeweyId> expected = TreeOracle(doc, lists).AllLca();
     EXPECT_EQ(Strings(RunAllLca(lists)), Strings(expected))

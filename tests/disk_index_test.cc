@@ -59,7 +59,7 @@ TEST(DiskIndexTest, PostingCursorStreamsFullList) {
   DeweyId id;
   while (cursor->Next(&id)) got.push_back(id);
   XKS_ASSERT_OK(cursor->status());
-  EXPECT_EQ(got, *src.Find("apple"));
+  EXPECT_EQ(got, src.Materialize("apple"));
 }
 
 TEST(DiskIndexTest, RightAndLeftMatchAgreeWithBinarySearch) {
@@ -68,7 +68,7 @@ TEST(DiskIndexTest, RightAndLeftMatchAgreeWithBinarySearch) {
       DiskIndex::Build(src, "", MemOptions());
   ASSERT_TRUE(index.ok());
   const DiskIndex::TermInfo* apple = (*index)->FindTerm("apple");
-  const std::vector<DeweyId>& list = *src.Find("apple");
+  const std::vector<DeweyId> list = src.Materialize("apple");
 
   const auto probes =
       Ids({"0", "0.0", "0.0.1", "0.0.1.0", "0.1", "0.1.2", "0.2", "0.3.0.1",
@@ -225,7 +225,7 @@ TEST(DiskIndexTest, UncompressedVariantsBehaveIdentically) {
   std::vector<DeweyId> got;
   DeweyId id;
   while (cursor->Next(&id)) got.push_back(id);
-  EXPECT_EQ(got, *src.Find("apple"));
+  EXPECT_EQ(got, src.Materialize("apple"));
 }
 
 TEST(DiskIndexTest, CompressionShrinksIndex) {

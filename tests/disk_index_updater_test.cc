@@ -149,7 +149,7 @@ TEST_F(DiskIndexUpdaterTest, OutOfRangeIdRejected) {
 TEST_F(DiskIndexUpdaterTest, ManyUpdatesSplitBlocksAndStayConsistent) {
   // Push enough postings through one keyword to force several block
   // splits and re-keyings; mirror everything in an in-memory reference.
-  std::vector<DeweyId> reference = *source_.Find("apple");
+  std::vector<DeweyId> reference = source_.Materialize("apple");
   {
     Result<std::unique_ptr<DiskIndexUpdater>> updater =
         DiskIndexUpdater::Open(prefix_);

@@ -100,8 +100,8 @@ TEST(ElcaTest, SchoolClassesIsNotAnElca) {
   // ELCA either.
   Document doc = BuildSchoolDocument();
   InvertedIndex index = InvertedIndex::Build(doc);
-  const std::vector<std::vector<DeweyId>> lists = {*index.Find("john"),
-                                                   *index.Find("ben")};
+  const std::vector<std::vector<DeweyId>> lists = {index.Materialize("john"),
+                                                   index.Materialize("ben")};
   const std::vector<DeweyId> elcas = RunElca(lists);
   Result<std::vector<DeweyId>> expected =
       OracleElca(doc, index, {"john", "ben"});
@@ -125,9 +125,7 @@ TEST(ElcaTest, SemanticsNestOnRandomDocuments) {
     const std::vector<std::string> vocab = RandomTreeVocabulary(options);
     std::vector<std::vector<DeweyId>> lists;
     for (int i = 0; i < 2 + static_cast<int>(rng.Uniform(2)); ++i) {
-      const std::vector<DeweyId>* list =
-          index.Find(vocab[rng.Uniform(vocab.size())]);
-      lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+      lists.push_back(index.Materialize(vocab[rng.Uniform(vocab.size())]));
     }
     const TreeOracle oracle(doc, lists);
     const std::vector<DeweyId> slca = oracle.Slca();

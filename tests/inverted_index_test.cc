@@ -17,10 +17,10 @@ TEST(InvertedIndexTest, TextTokensAttributedToTextNodes) {
   Result<Document> doc = ParseXml("<r><a>john ben</a><b>john</b></r>");
   ASSERT_TRUE(doc.ok());
   InvertedIndex index = InvertedIndex::Build(*doc);
-  const std::vector<DeweyId>* john = index.Find("john");
-  ASSERT_NE(john, nullptr);
+  ASSERT_NE(index.Find("john"), nullptr);
   // Text node of <a> is 0.0.0, of <b> is 0.1.0.
-  EXPECT_EQ(Strings(*john), (std::vector<std::string>{"0.0.0", "0.1.0"}));
+  EXPECT_EQ(Strings(index.Materialize("john")),
+            (std::vector<std::string>{"0.0.0", "0.1.0"}));
   EXPECT_EQ(index.Frequency("ben"), 1u);
   EXPECT_EQ(index.Frequency("absent"), 0u);
 }
@@ -29,9 +29,9 @@ TEST(InvertedIndexTest, TagsIndexedOnElements) {
   Result<Document> doc = ParseXml("<root><title>x</title></root>");
   ASSERT_TRUE(doc.ok());
   InvertedIndex index = InvertedIndex::Build(*doc);
-  const std::vector<DeweyId>* title = index.Find("title");
-  ASSERT_NE(title, nullptr);
-  EXPECT_EQ(Strings(*title), (std::vector<std::string>{"0.0"}));
+  ASSERT_NE(index.Find("title"), nullptr);
+  EXPECT_EQ(Strings(index.Materialize("title")),
+            (std::vector<std::string>{"0.0"}));
 
   IndexOptions no_tags;
   no_tags.index_tags = false;
@@ -43,9 +43,9 @@ TEST(InvertedIndexTest, AttributesIndexedOnOwningElement) {
   Result<Document> doc = ParseXml("<r year=\"2005\"><x name=\"widget\"/></r>");
   ASSERT_TRUE(doc.ok());
   InvertedIndex index = InvertedIndex::Build(*doc);
-  const std::vector<DeweyId>* y = index.Find("2005");
-  ASSERT_NE(y, nullptr);
-  EXPECT_EQ(Strings(*y), (std::vector<std::string>{"0"}));
+  ASSERT_NE(index.Find("2005"), nullptr);
+  EXPECT_EQ(Strings(index.Materialize("2005")),
+            (std::vector<std::string>{"0"}));
   ASSERT_NE(index.Find("widget"), nullptr);
   // Attribute names are off by default.
   EXPECT_EQ(index.Find("name"), nullptr);
@@ -61,11 +61,10 @@ TEST(InvertedIndexTest, ListsAreSortedAndUnique) {
       ParseXml("<r><a>dup dup dup</a><b><c>dup</c></b><d>dup</d></r>");
   ASSERT_TRUE(doc.ok());
   InvertedIndex index = InvertedIndex::Build(*doc);
-  const std::vector<DeweyId>* dup = index.Find("dup");
-  ASSERT_NE(dup, nullptr);
+  const std::vector<DeweyId> dup = index.Materialize("dup");
   // One entry per node even though <a>'s text mentions it three times.
-  EXPECT_EQ(dup->size(), 3u);
-  EXPECT_TRUE(std::is_sorted(dup->begin(), dup->end()));
+  EXPECT_EQ(dup.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(dup.begin(), dup.end()));
 }
 
 TEST(InvertedIndexTest, LevelTableCoversObservedDepths) {

@@ -57,8 +57,8 @@ TEST_P(AllAlgorithmsTest, PaperExampleJohnBen) {
   // CS2A class, the CS3A class, and the baseball players element.
   Document doc = BuildSchoolDocument();
   InvertedIndex index = InvertedIndex::Build(doc);
-  const std::vector<std::vector<DeweyId>> lists = {*index.Find("john"),
-                                                   *index.Find("ben")};
+  const std::vector<std::vector<DeweyId>> lists = {index.Materialize("john"),
+                                                   index.Materialize("ben")};
   const std::vector<DeweyId> got = RunSlca(GetParam(), lists);
   Result<std::vector<DeweyId>> expected =
       OracleSlca(doc, index, {"john", "ben"});

@@ -61,8 +61,7 @@ TEST_P(SlcaPropertyTest, AllAlgorithmsMatchOracle) {
       for (size_t i = 0; i < param.query_size; ++i) {
         const std::string& kw = vocab[rng.Uniform(vocab.size())];
         keywords.push_back(kw);
-        const std::vector<DeweyId>* list = index.Find(kw);
-        lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+        lists.push_back(index.Materialize(kw));
       }
 
       const std::vector<DeweyId> expected = TreeOracle(doc, lists).Slca();
@@ -193,8 +192,7 @@ TEST(SlcaPropertyDeepTest, DeepTreesMatchOracle) {
     std::vector<std::vector<DeweyId>> lists;
     for (const std::string& kw :
          {vocab[rng.Uniform(4)], vocab[rng.Uniform(4)]}) {
-      const std::vector<DeweyId>* list = index.Find(kw);
-      lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+      lists.push_back(index.Materialize(kw));
     }
     const std::vector<DeweyId> expected = TreeOracle(doc, lists).Slca();
     for (SlcaAlgorithm algorithm :
@@ -249,8 +247,7 @@ TEST(SlcaIdentityTest, SlcaEqualsRemoveAncestorsOfAllLca) {
     for (const std::vector<std::string>& keywords : queries) {
       std::vector<std::vector<DeweyId>> lists;
       for (const std::string& kw : keywords) {
-        const std::vector<DeweyId>* list = index.Find(kw);
-        lists.push_back(list == nullptr ? std::vector<DeweyId>{} : *list);
+        lists.push_back(index.Materialize(kw));
       }
 
       // The identity itself, with allLca from the tree oracle.
@@ -303,12 +300,12 @@ TEST(SlcaPropertyTest, BlockSizeInvariance) {
   options.vocab_size = 4;
   const Document doc = GenerateRandomDocument(&rng, options);
   InvertedIndex index = InvertedIndex::Build(doc);
-  const std::vector<DeweyId>* a = index.Find("w0");
-  const std::vector<DeweyId>* b = index.Find("w1");
-  ASSERT_NE(a, nullptr);
-  ASSERT_NE(b, nullptr);
+  const std::vector<DeweyId> a = index.Materialize("w0");
+  const std::vector<DeweyId> b = index.Materialize("w1");
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
   QueryStats stats;
-  VectorKeywordList la(a, &stats), lb(b, &stats);
+  VectorKeywordList la(&a, &stats), lb(&b, &stats);
   std::vector<KeywordList*> lists = {&la, &lb};
   SlcaOptions base;
   Result<std::vector<DeweyId>> baseline = ComputeSlcaList(

@@ -34,5 +34,7 @@ done
 if [ "$run_slow" -eq 1 ]; then
   echo "==> [slow] long-run fuzz/stress stage (ctest -L slow, release build)"
   ctest --test-dir build/release -L slow --output-on-failure
+  echo "==> [bench-smoke] benchmark smoke stage (ctest -L bench-smoke)"
+  ctest --test-dir build/release -L bench-smoke --output-on-failure
 fi
 echo "ci: all presets passed (${presets[*]})"
