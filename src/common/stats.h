@@ -79,6 +79,12 @@ struct QueryStats {
   /// Kept separate from page_reads so the paper's on-demand disk-access
   /// counts stay comparable whether or not readahead is enabled.
   RelaxedCounter readahead_reads = 0;
+  /// Storage read failures observed on this query's behalf: demand
+  /// fetches that surfaced an error status, plus speculative readahead
+  /// loads whose failure was swallowed (the demand retry reports its own
+  /// error). Per-shard totals sum into sharded response totals like every
+  /// other counter.
+  RelaxedCounter io_errors = 0;
   /// SLCA/LCA results produced.
   RelaxedCounter results = 0;
 
@@ -92,6 +98,7 @@ struct QueryStats {
     page_reads += o.page_reads;
     page_hits += o.page_hits;
     readahead_reads += o.readahead_reads;
+    io_errors += o.io_errors;
     results += o.results;
     return *this;
   }

@@ -1,6 +1,8 @@
 #include "fuzz/harness.h"
 
 #include <algorithm>
+#include <deque>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -8,6 +10,8 @@
 #include "engine/disk_searcher.h"
 #include "engine/xksearch.h"
 #include "gen/random_tree.h"
+#include "shard/scatter_gather.h"
+#include "shard/sharded_collection.h"
 #include "slca/brute_force.h"
 #include "storage/fault_injection.h"
 
@@ -86,6 +90,29 @@ constexpr AlgorithmChoice kAlgorithms[] = {
     AlgorithmChoice::kIndexedLookupEager,
     AlgorithmChoice::kScanEager,
     AlgorithmChoice::kStack,
+};
+
+/// Re-bases a single-document answer id [0, rest...] of document `d` to
+/// collection coordinates [0, d, rest...] — the convention the sharded
+/// collection reports in, so per-document oracle unions compare directly.
+DeweyId RebaseToCollection(const DeweyId& id, uint32_t d) {
+  std::vector<uint32_t> components;
+  components.reserve(id.depth() + 1);
+  components.push_back(0);
+  components.push_back(d);
+  for (size_t i = 1; i < id.depth(); ++i) {
+    components.push_back(id.component(i));
+  }
+  return DeweyId(std::move(components));
+}
+
+/// One shard-count configuration under test: the collection, its
+/// parallel executor, and the per-shard fault hooks.
+struct ShardedSetup {
+  size_t shard_count = 0;
+  std::unique_ptr<shard::ShardedCollection> collection;
+  std::unique_ptr<shard::ScatterGatherExecutor> executor;
+  std::vector<std::vector<FaultInjectingPageStore*>> wrappers;  // per shard
 };
 
 const char* AlgorithmLabel(AlgorithmChoice a, bool disk) {
@@ -175,6 +202,103 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
     return report;
   }
   const XKSearch& engine = **built;
+
+  // --- Sharded corpus: the primary document plus sampled extras, each
+  // with its own single-index oracle engine, built into one sharded
+  // collection (+ executor) per configured shard count. The union of the
+  // per-document answers is the sharded ground truth; shard counts above
+  // the corpus size exercise empty shards.
+  std::vector<const XKSearch*> doc_engines{&engine};
+  std::vector<std::unique_ptr<XKSearch>> extra_engines;
+  std::deque<ShardedSetup> setups;
+  if (!options.shard_counts.empty()) {
+    std::vector<Document> corpus;
+    corpus.push_back(engine.document().Clone());
+    const size_t extras = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(options.max_extra_documents)));
+    for (size_t e = 0; e < extras; ++e) {
+      RandomTreeOptions extra_tree = tree;
+      extra_tree.node_count = static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(options.min_nodes),
+                         static_cast<int64_t>(options.max_nodes)));
+      // Vocabulary sizes differ per document, so some documents miss
+      // some query keywords — that is what shard pruning feeds on.
+      extra_tree.vocab_size = static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(options.min_vocab),
+                         static_cast<int64_t>(options.max_vocab)));
+      Document extra = GenerateRandomDocument(&rng, extra_tree);
+      corpus.push_back(extra.Clone());
+      Result<std::unique_ptr<XKSearch>> extra_engine =
+          XKSearch::BuildFromDocument(std::move(extra),
+                                      XKSearch::BuildOptions());
+      if (!extra_engine.ok()) {
+        Divergence d;
+        d.seed = seed;
+        d.detail = "extra doc build failed: " + extra_engine.status().ToString();
+        report.divergences.push_back(std::move(d));
+        return report;
+      }
+      extra_engines.push_back(extra_engine.MoveValueUnsafe());
+      doc_engines.push_back(extra_engines.back().get());
+    }
+    for (const size_t n : options.shard_counts) {
+      setups.emplace_back();
+      ShardedSetup& setup = setups.back();
+      setup.shard_count = n;
+      setup.wrappers.resize(n);
+      shard::ShardedCollectionOptions sco;
+      sco.shards = n;
+      sco.build.build_disk_index = options.with_disk;
+      if (options.with_disk) {
+        sco.build.disk.in_memory = true;
+        // Same rationale as the single-index path — tiny pools so the
+        // disk read path actually reads — but with a floor that grows
+        // with the corpus: one shard can hold every document merged into
+        // a single index whose deeper trees and longer posting runs pin
+        // more frames at once than any lone fuzz document, and a 2-frame
+        // pool then fails with "all pages pinned" (a capacity error, not
+        // a divergence).
+        const int64_t floor_pages =
+            4 + 4 * static_cast<int64_t>(corpus.size());
+        sco.build.disk.il_pool_pages = static_cast<size_t>(
+            rng.UniformInt(floor_pages, floor_pages + 12));
+        sco.build.disk.scan_pool_pages = static_cast<size_t>(
+            rng.UniformInt(floor_pages, floor_pages + 12));
+        sco.build.disk.pool_shards =
+            static_cast<size_t>(rng.UniformInt(1, 4));
+        sco.store_decorator =
+            [&setup, seed](std::unique_ptr<PageStore> inner, size_t s,
+                           std::string_view /*name*/) {
+              auto wrapped = std::make_unique<FaultInjectingPageStore>(
+                  std::move(inner), seed);
+              setup.wrappers[s].push_back(wrapped.get());
+              return std::unique_ptr<PageStore>(std::move(wrapped));
+            };
+      }
+      shard::ShardedCollection::Builder builder(std::move(sco));
+      Status add_status;
+      for (uint32_t d = 0; d < corpus.size() && add_status.ok(); ++d) {
+        add_status = builder.Add("doc" + std::to_string(d), corpus[d].Clone());
+      }
+      Result<std::unique_ptr<shard::ShardedCollection>> collection =
+          add_status.ok() ? std::move(builder).Build()
+                          : Result<std::unique_ptr<shard::ShardedCollection>>(
+                                add_status);
+      if (!collection.ok()) {
+        Divergence d;
+        d.seed = seed;
+        d.detail = "sharded build (n=" + std::to_string(n) +
+                   ") failed: " + collection.status().ToString();
+        report.divergences.push_back(std::move(d));
+        return report;
+      }
+      setup.collection = collection.MoveValueUnsafe();
+      shard::ScatterGatherOptions sgo;
+      sgo.workers = 2;
+      setup.executor = std::make_unique<shard::ScatterGatherExecutor>(
+          setup.collection.get(), sgo);
+    }
+  }
 
   // --- Queries. ---
   for (size_t q = 0; q < options.queries_per_collection; ++q) {
@@ -274,6 +398,189 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
       ctx.Check("mem/elca", engine.Search(keywords, so), *oracle_elca);
       so.semantics = Semantics::kAllLca;
       ctx.Check("mem/all-lca", engine.Search(keywords, so), *oracle_lca);
+    }
+
+    // Sharded paths: every shard count must reproduce the union of the
+    // per-document single-index answers (document-partition exactness),
+    // sequentially and through the pool-parallel executor alike.
+    if (!setups.empty()) {
+      // Union of per-document answers, re-based to collection coords.
+      auto expected_union =
+          [&](const SearchOptions& so) -> Result<std::vector<DeweyId>> {
+        std::vector<DeweyId> all;
+        for (uint32_t d = 0; d < doc_engines.size(); ++d) {
+          Result<SearchResult> r = doc_engines[d]->Search(keywords, so);
+          if (!r.ok()) return r.status();
+          for (const DeweyId& id : r->nodes) {
+            all.push_back(RebaseToCollection(id, d));
+          }
+        }
+        return all;
+      };
+      auto check_sharded = [&](const std::string& label,
+                               const Result<shard::ShardedResult>& got,
+                               const std::vector<DeweyId>& expected) {
+        ++report.cases;
+        if (!got.ok()) {
+          ctx.Diverge(label + " failed: " + got.status().ToString());
+          return;
+        }
+        if (!SameSet(got->result.nodes, expected)) {
+          ctx.Diverge(label + " = " + IdsToString(got->result.nodes) +
+                      ", per-doc union = " + IdsToString(expected));
+        }
+      };
+
+      Result<std::vector<DeweyId>> expected = expected_union(SearchOptions{});
+      if (!expected.ok()) {
+        ctx.Diverge("per-doc union failed: " + expected.status().ToString());
+        continue;
+      }
+      for (ShardedSetup& setup : setups) {
+        const std::string tag = "sharded[" + std::to_string(setup.shard_count) + "]";
+        check_sharded(tag + "/seq", setup.collection->Search(keywords),
+                      *expected);
+        Result<shard::ShardedResult> par = setup.executor->Search(keywords);
+        check_sharded(tag + "/par", par, *expected);
+        if (par.ok()) {
+          // Aggregation identity: the response totals must be exactly
+          // the field-wise sum of the per-shard stats, and pruned
+          // shards must contribute nothing.
+          QueryStats sum;
+          uint64_t contributed = 0;
+          for (const shard::ShardQueryStats& s : par->shards) {
+            sum += s.stats;
+            contributed += s.results;
+            if (s.pruned && s.results != 0) {
+              ctx.Diverge(tag + " pruned shard " + std::to_string(s.shard) +
+                          " reported " + std::to_string(s.results) +
+                          " results");
+            }
+          }
+          ++report.cases;
+          const QueryStats& total = par->result.stats;
+          if (sum.match_ops.load() != total.match_ops.load() ||
+              sum.dewey_comparisons.load() != total.dewey_comparisons.load() ||
+              sum.lca_ops.load() != total.lca_ops.load() ||
+              sum.postings_read.load() != total.postings_read.load() ||
+              sum.page_reads.load() != total.page_reads.load() ||
+              sum.page_hits.load() != total.page_hits.load() ||
+              sum.readahead_reads.load() != total.readahead_reads.load() ||
+              sum.io_errors.load() != total.io_errors.load() ||
+              contributed != par->result.nodes.size()) {
+            ctx.Diverge(tag + " stats aggregation broke: shard sum " +
+                        sum.ToString() + " vs total " + total.ToString());
+          }
+        }
+      }
+      {
+        // Semantics parity on the first configuration (the others share
+        // the same code path; one is enough per query).
+        SearchOptions so;
+        so.semantics = Semantics::kElca;
+        Result<std::vector<DeweyId>> expected_elca = expected_union(so);
+        if (expected_elca.ok()) {
+          check_sharded("sharded/elca",
+                        setups.front().collection->Search(keywords, so),
+                        *expected_elca);
+        }
+        so.semantics = Semantics::kAllLca;
+        Result<std::vector<DeweyId>> expected_lca = expected_union(so);
+        if (expected_lca.ok()) {
+          check_sharded("sharded/all-lca",
+                        setups.front().collection->Search(keywords, so),
+                        *expected_lca);
+        }
+      }
+      if (options.with_disk) {
+        SearchOptions so;
+        so.use_disk_index = true;
+        for (ShardedSetup& setup : setups) {
+          check_sharded("sharded[" + std::to_string(setup.shard_count) +
+                            "]/disk",
+                        setup.executor->Search(keywords, so), *expected);
+        }
+      }
+      if (options.with_disk && options.with_faults) {
+        // Single-shard fault round: arm one seeded-chosen shard's stores
+        // and scatter across the full collection. Contract: the query
+        // either succeeds with the exact answer or fails with the
+        // injected IoError — never a wrong answer, never a leaked pin
+        // on ANY shard — and the identical query succeeds once the
+        // fault clears.
+        ShardedSetup& setup = setups[rng.Uniform(setups.size())];
+        std::vector<size_t> faultable;
+        for (size_t s = 0; s < setup.wrappers.size(); ++s) {
+          if (!setup.wrappers[s].empty()) faultable.push_back(s);
+        }
+        if (!faultable.empty()) {
+          const size_t victim = faultable[rng.Uniform(faultable.size())];
+          // Half the rounds (seeded) drop the victim's caches before
+          // arming: a pool still warm from the parity checks above can
+          // serve the whole query without one read — a guaranteed
+          // survival — and the schedule must also be observed firing.
+          const bool cold = rng.Bernoulli(0.5);
+          const XKSearch* victim_engine =
+              setup.collection->shard_engine(static_cast<uint32_t>(victim));
+          if (cold && victim_engine != nullptr &&
+              victim_engine->disk_index() != nullptr) {
+            const Status dropped = victim_engine->disk_index()->DropCaches();
+            if (!dropped.ok()) {
+              ctx.Diverge("sharded[" + std::to_string(setup.shard_count) +
+                          "]/faults DropCaches failed: " + dropped.ToString());
+            }
+          }
+          for (FaultInjectingPageStore* w : setup.wrappers[victim]) {
+            w->ClearFaults();
+            w->FailReadsWithProbability(options.fault_probability,
+                                        options.faults_per_round);
+            w->Arm();
+          }
+          SearchOptions so;
+          so.use_disk_index = true;
+          const std::string tag =
+              "sharded[" + std::to_string(setup.shard_count) + "]/faults";
+          Result<shard::ShardedResult> got =
+              setup.executor->Search(keywords, so);
+          ++report.cases;
+          if (got.ok()) {
+            ++report.fault_survivals;
+            if (!SameSet(got->result.nodes, *expected)) {
+              ctx.Diverge(tag + " returned wrong answer " +
+                          IdsToString(got->result.nodes) +
+                          ", per-doc union = " + IdsToString(*expected));
+            }
+          } else {
+            ++report.clean_fault_errors;
+            if (!got.status().IsIoError()) {
+              ctx.Diverge(tag + " failed with non-IoError: " +
+                          got.status().ToString());
+            }
+          }
+          for (FaultInjectingPageStore* w : setup.wrappers[victim]) {
+            w->Disarm();
+            w->ClearFaults();
+          }
+          for (uint32_t s = 0; s < setup.collection->shard_count(); ++s) {
+            const XKSearch* shard_engine = setup.collection->shard_engine(s);
+            if (shard_engine == nullptr ||
+                shard_engine->disk_index() == nullptr) {
+              continue;
+            }
+            const uint64_t il_pins =
+                shard_engine->disk_index()->il_pool()->DebugTotalPins();
+            const uint64_t scan_pins =
+                shard_engine->disk_index()->scan_pool()->DebugTotalPins();
+            if (il_pins != 0 || scan_pins != 0) {
+              ctx.Diverge(tag + " leaked pins on shard " + std::to_string(s) +
+                          ": il=" + std::to_string(il_pins) +
+                          " scan=" + std::to_string(scan_pins));
+            }
+          }
+          check_sharded(tag + "/recovery", setup.executor->Search(keywords, so),
+                        *expected);
+        }
+      }
     }
 
     if (!options.with_disk) continue;

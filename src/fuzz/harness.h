@@ -39,6 +39,18 @@ struct FuzzOptions {
   /// Faults per armed round before the schedule exhausts (transient
   /// faults must recover; kForever would starve the retry).
   uint64_t faults_per_round = 4;
+  /// Also build the case's corpus (the primary document plus sampled
+  /// extra documents) into one sharded collection per entry here, and
+  /// assert for every query that sequential and pool-parallel
+  /// scatter-gather both reproduce the union of the per-document
+  /// single-index answers — plus the per-shard stats aggregation
+  /// identity, ELCA/All-LCA parity, disk-path parity and (with
+  /// with_faults) single-shard fault rounds. Empty disables sharded
+  /// checks entirely.
+  std::vector<size_t> shard_counts = {1, 2, 4, 7};
+  /// Extra documents sampled per collection on top of the primary one
+  /// (0..max, seeded), so shard partitions have something to split.
+  size_t max_extra_documents = 3;
 };
 
 /// \brief One observed disagreement, minimized to its replay coordinates.

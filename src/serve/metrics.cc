@@ -89,6 +89,18 @@ std::string MetricsRegistry::ReportText(const Gauges& gauges) const {
   };
   pool_line("il_pool:           ", gauges.il_pool);
   pool_line("scan_pool:         ", gauges.scan_pool);
+  for (const ShardGauges& shard : gauges.shards) {
+    os << "shard[" << shard.shard << "]:          docs=" << shard.documents
+       << " executed=" << shard.executed << " pruned=" << shard.pruned
+       << " io_errors=" << shard.io_errors << " results=" << shard.results;
+    auto shard_pool = [&os](const char* name, const PoolGauges& pool) {
+      if (!pool.present) return;
+      os << " " << name << "=" << pool.hits << "h/" << pool.misses << "m";
+    };
+    shard_pool("il", shard.il_pool);
+    shard_pool("scan", shard.scan_pool);
+    os << "\n";
+  }
   os << "engine:            " << engine_stats.ToString() << "\n";
   return os.str();
 }

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "serve/query_cache.h"
@@ -98,6 +99,22 @@ class MetricsRegistry {
     }
   };
 
+  /// Point-in-time view of one shard of a sharded backend: cumulative
+  /// query counters plus that shard's own buffer pools. An operator reads
+  /// these to spot skew (one hot shard), confirm pruning is working
+  /// (pruned counts rising on keyword-sparse shards) and localize disk
+  /// trouble (io_errors pinned to one shard = one failing volume).
+  struct ShardGauges {
+    uint32_t shard = 0;
+    size_t documents = 0;
+    uint64_t executed = 0;
+    uint64_t pruned = 0;
+    uint64_t io_errors = 0;
+    uint64_t results = 0;
+    PoolGauges il_pool;
+    PoolGauges scan_pool;
+  };
+
   /// Instantaneous values sampled by the caller at report time.
   struct Gauges {
     size_t queue_depth = 0;
@@ -107,6 +124,9 @@ class MetricsRegistry {
     /// no disk index.
     PoolGauges il_pool;
     PoolGauges scan_pool;
+    /// One entry per shard when serving a sharded collection; empty for
+    /// single-index backends.
+    std::vector<ShardGauges> shards;
   };
 
   /// Renders the whole registry as a human-readable text report.

@@ -23,19 +23,30 @@ uint64_t Nanos(Clock::duration d) {
 
 QueryService::QueryService(const XKSearch* engine,
                            const QueryServiceOptions& options)
-    : QueryService(engine, nullptr, options) {}
+    : QueryService(engine, nullptr, nullptr, options) {}
 
 QueryService::QueryService(const DiskSearcher* searcher,
                            const QueryServiceOptions& options)
-    : QueryService(nullptr, searcher, options) {}
+    : QueryService(nullptr, searcher, nullptr, options) {}
+
+QueryService::QueryService(const shard::ShardedCollection* collection,
+                           const QueryServiceOptions& options)
+    : QueryService(nullptr, nullptr, collection, options) {}
 
 QueryService::QueryService(const XKSearch* engine, const DiskSearcher* searcher,
+                           const shard::ShardedCollection* collection,
                            const QueryServiceOptions& options)
     : engine_(engine),
       searcher_(searcher),
+      collection_(collection),
       options_(options),
       cache_(options.cache),
-      pool_(options.pool) {}
+      pool_(options.pool) {
+  if (collection_ != nullptr) {
+    shard_exec_ = std::make_unique<shard::ScatterGatherExecutor>(
+        collection_, options.shard_exec);
+  }
+}
 
 QueryService::~QueryService() { Shutdown(); }
 
@@ -47,6 +58,12 @@ void QueryService::Shutdown() {
 Result<SearchResult> QueryService::RunQuery(
     const std::vector<std::string>& keywords,
     const SearchOptions& options) const {
+  if (collection_ != nullptr) {
+    Result<shard::ShardedResult> sharded =
+        shard_exec_->Search(keywords, options);
+    if (!sharded.ok()) return sharded.status();
+    return std::move(sharded->result);
+  }
   return engine_ != nullptr ? engine_->Search(keywords, options)
                             : searcher_->Search(keywords, options);
 }
@@ -54,9 +71,10 @@ Result<SearchResult> QueryService::RunQuery(
 QueryCacheKey QueryService::MakeCacheKey(
     const std::vector<std::string>& keywords,
     const SearchOptions& options) const {
-  const TokenizerOptions& tokenizer = engine_ != nullptr
-                                          ? engine_->index_options().tokenizer
-                                          : searcher_->tokenizer();
+  const TokenizerOptions& tokenizer =
+      engine_ != nullptr       ? engine_->index_options().tokenizer
+      : collection_ != nullptr ? collection_->index_options().tokenizer
+                               : searcher_->tokenizer();
   QueryCacheKey key;
   key.options = options;
   key.keywords.reserve(keywords.size());
@@ -159,21 +177,41 @@ std::string QueryService::MetricsReport() const {
   gauges.queue_depth = pool_.queue_depth();
   gauges.workers = pool_.workers();
   gauges.cache = cache_.GetStats();
-  const DiskIndex* disk =
-      engine_ != nullptr ? engine_->disk_index() : searcher_->index();
-  if (disk != nullptr) {
-    auto sample = [](const BufferPool& pool) {
-      MetricsRegistry::PoolGauges g;
-      g.present = true;
-      g.hits = pool.total_hits();
-      g.misses = pool.total_misses();
-      g.readaheads = pool.total_readaheads();
-      g.resident = pool.resident();
-      g.capacity = pool.capacity();
-      return g;
-    };
-    gauges.il_pool = sample(*disk->il_pool());
-    gauges.scan_pool = sample(*disk->scan_pool());
+  auto sample = [](const BufferPool& pool) {
+    MetricsRegistry::PoolGauges g;
+    g.present = true;
+    g.hits = pool.total_hits();
+    g.misses = pool.total_misses();
+    g.readaheads = pool.total_readaheads();
+    g.resident = pool.resident();
+    g.capacity = pool.capacity();
+    return g;
+  };
+  if (collection_ != nullptr) {
+    const std::vector<shard::ShardCountersSnapshot> counters =
+        collection_->CountersSnapshot();
+    gauges.shards.resize(collection_->shard_count());
+    for (uint32_t s = 0; s < collection_->shard_count(); ++s) {
+      MetricsRegistry::ShardGauges& g = gauges.shards[s];
+      g.shard = s;
+      g.documents = collection_->shard_documents(s).size();
+      g.executed = counters[s].executed;
+      g.pruned = counters[s].pruned;
+      g.io_errors = counters[s].io_errors;
+      g.results = counters[s].results;
+      const XKSearch* engine = collection_->shard_engine(s);
+      if (engine != nullptr && engine->disk_index() != nullptr) {
+        g.il_pool = sample(*engine->disk_index()->il_pool());
+        g.scan_pool = sample(*engine->disk_index()->scan_pool());
+      }
+    }
+  } else {
+    const DiskIndex* disk =
+        engine_ != nullptr ? engine_->disk_index() : searcher_->index();
+    if (disk != nullptr) {
+      gauges.il_pool = sample(*disk->il_pool());
+      gauges.scan_pool = sample(*disk->scan_pool());
+    }
   }
   return metrics_.ReportText(gauges);
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "serve/metrics.h"
 #include "serve/query_cache.h"
 #include "serve/thread_pool.h"
+#include "shard/scatter_gather.h"
+#include "shard/sharded_collection.h"
 
 namespace xksearch {
 namespace serve {
@@ -30,6 +33,11 @@ struct QueryServiceOptions {
   /// disk stalls) without needing one. Zero (the default) measures the
   /// real engine only; keep it zero outside load tests.
   std::chrono::microseconds synthetic_backend_latency{0};
+  /// Shard fan-out configuration, used only by the sharded-collection
+  /// backend. Deliberately NOT part of SearchOptions (and therefore not
+  /// part of the cache key): execution placement never changes the
+  /// answer, so cached results stay valid across executor configs.
+  shard::ScatterGatherOptions shard_exec;
 };
 
 /// \brief One served query's payload.
@@ -59,6 +67,13 @@ class QueryService {
   QueryService(const XKSearch* engine, const QueryServiceOptions& options);
   /// Serves from a persisted index without the source document.
   QueryService(const DiskSearcher* searcher,
+               const QueryServiceOptions& options);
+  /// Serves from a sharded collection: cache misses scatter across the
+  /// collection's candidate shards on a dedicated executor pool and the
+  /// response carries the merged result (per-shard stats summed into
+  /// `result.stats`). `collection` is not owned and must outlive the
+  /// service.
+  QueryService(const shard::ShardedCollection* collection,
                const QueryServiceOptions& options);
   /// Drains outstanding requests, then stops the workers.
   ~QueryService();
@@ -104,13 +119,17 @@ class QueryService {
 
  private:
   QueryService(const XKSearch* engine, const DiskSearcher* searcher,
+               const shard::ShardedCollection* collection,
                const QueryServiceOptions& options);
 
   Result<SearchResult> RunQuery(const std::vector<std::string>& keywords,
                                 const SearchOptions& options) const;
 
-  const XKSearch* engine_;        // exactly one of engine_/searcher_ set
+  // Exactly one of engine_/searcher_/collection_ is set.
+  const XKSearch* engine_;
   const DiskSearcher* searcher_;
+  const shard::ShardedCollection* collection_;
+  std::unique_ptr<shard::ScatterGatherExecutor> shard_exec_;
   QueryServiceOptions options_;
   MetricsRegistry metrics_;
   QueryCache cache_;

@@ -1,0 +1,29 @@
+#include "shard/router.h"
+
+namespace xksearch {
+namespace shard {
+
+ShardRouter ShardRouter::Build(
+    const std::vector<std::vector<std::string>>& shard_terms,
+    const RouterOptions& options) {
+  ShardRouter router;
+  router.options_ = options;
+  router.filters_.reserve(shard_terms.size());
+  for (const std::vector<std::string>& terms : shard_terms) {
+    router.filters_.push_back(TermFilter::Build(terms, options.bits_per_term));
+  }
+  return router;
+}
+
+bool ShardRouter::MayServe(uint32_t s,
+                           const std::vector<std::string>& normalized) const {
+  if (!options_.enabled) return true;
+  const TermFilter& filter = filters_[s];
+  for (const std::string& keyword : normalized) {
+    if (!filter.MayContain(keyword)) return false;
+  }
+  return true;
+}
+
+}  // namespace shard
+}  // namespace xksearch

@@ -1,0 +1,58 @@
+#ifndef XKSEARCH_SHARD_ROUTER_H_
+#define XKSEARCH_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/term_filter.h"
+
+namespace xksearch {
+namespace shard {
+
+/// \brief Routing knobs, fixed at collection build time.
+struct RouterOptions {
+  /// Disable to scatter every query to every shard (ablation / debugging;
+  /// results are identical either way, only work changes).
+  bool enabled = true;
+  /// Bloom filter density. 10 bits/term is ~1% false positives, and a
+  /// false positive merely wastes one empty shard query.
+  size_t bits_per_term = 10;
+};
+
+/// \brief Prunes shards that cannot contain all query keywords.
+///
+/// Correctness hook: an SLCA's subtree contains every query keyword, and
+/// shard boundaries are document boundaries, so a shard whose term
+/// dictionary misses any keyword contributes nothing to the global
+/// answer. The router keeps one Bloom filter per shard (built over the
+/// shard's term dictionary); `MayServe` has no false negatives, so
+/// pruning never drops an answer. Callers holding the shard's exact
+/// dictionary (the engine frequency table) confirm Bloom positives to
+/// make the pruned-shard set deterministic.
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+
+  /// Builds one filter per shard from the shards' term dictionaries.
+  static ShardRouter Build(
+      const std::vector<std::vector<std::string>>& shard_terms,
+      const RouterOptions& options = {});
+
+  /// True when shard `s` may contain every keyword in `normalized`.
+  /// With routing disabled, always true.
+  bool MayServe(uint32_t s, const std::vector<std::string>& normalized) const;
+
+  size_t shard_count() const { return filters_.size(); }
+  bool enabled() const { return options_.enabled; }
+
+ private:
+  std::vector<TermFilter> filters_;
+  RouterOptions options_;
+};
+
+}  // namespace shard
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SHARD_ROUTER_H_

@@ -1,0 +1,56 @@
+#include "shard/term_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xksearch {
+namespace shard {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+TermFilter TermFilter::Build(const std::vector<std::string>& terms,
+                             size_t bits_per_term) {
+  TermFilter filter;
+  if (terms.empty()) return filter;
+  if (bits_per_term == 0) bits_per_term = 1;
+  filter.bit_count_ = std::max<size_t>(64, terms.size() * bits_per_term);
+  filter.words_.assign((filter.bit_count_ + 63) / 64, 0);
+  // Optimal k = ln(2) * bits/term, clamped to a sane range.
+  filter.hashes_ = std::clamp<size_t>(
+      static_cast<size_t>(std::lround(0.693 * static_cast<double>(bits_per_term))),
+      1, 16);
+  for (const std::string& term : terms) {
+    const uint64_t h1 = Fnv1a(term, 0);
+    const uint64_t h2 = Fnv1a(term, 0x9e3779b97f4a7c15ull) | 1;
+    for (size_t i = 0; i < filter.hashes_; ++i) {
+      const uint64_t bit = (h1 + i * h2) % filter.bit_count_;
+      filter.words_[bit / 64] |= uint64_t{1} << (bit % 64);
+    }
+  }
+  return filter;
+}
+
+bool TermFilter::MayContain(std::string_view term) const {
+  if (bit_count_ == 0) return false;
+  const uint64_t h1 = Fnv1a(term, 0);
+  const uint64_t h2 = Fnv1a(term, 0x9e3779b97f4a7c15ull) | 1;
+  for (size_t i = 0; i < hashes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % bit_count_;
+    if ((words_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace shard
+}  // namespace xksearch

@@ -1,0 +1,51 @@
+#ifndef XKSEARCH_SHARD_TERM_FILTER_H_
+#define XKSEARCH_SHARD_TERM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xksearch {
+namespace shard {
+
+/// \brief A Bloom filter over a shard's term dictionary.
+///
+/// The shard router consults one of these per shard before touching the
+/// shard's engine: if any query keyword is definitely absent from a
+/// shard, that shard cannot contribute an SLCA (every answer's subtree
+/// must contain all keywords) and is pruned from the scatter.
+///
+/// The filter is the standard k-hash Bloom construction with double
+/// hashing (h1 + i*h2 over two independent 64-bit FNV-1a streams): no
+/// false negatives ever, and a false-positive rate around 1% at the
+/// default 10 bits/term — a false positive only costs one wasted shard
+/// query that comes back empty. Immutable after Build, so concurrent
+/// readers need no synchronization.
+class TermFilter {
+ public:
+  /// An empty filter: MayContain is always false (an empty shard holds
+  /// nothing).
+  TermFilter() = default;
+
+  /// Builds the filter over `terms` (normalized keywords).
+  static TermFilter Build(const std::vector<std::string>& terms,
+                          size_t bits_per_term = 10);
+
+  /// True when `term` may be in the set; false means definitely absent.
+  bool MayContain(std::string_view term) const;
+
+  size_t bit_count() const { return bit_count_; }
+  size_t hash_count() const { return hashes_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t bit_count_ = 0;
+  size_t hashes_ = 0;
+};
+
+}  // namespace shard
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SHARD_TERM_FILTER_H_

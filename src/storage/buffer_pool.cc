@@ -144,14 +144,21 @@ Status BufferPool::EvictOneLocked(Shard* shard) {
 }
 
 Result<PageRef> BufferPool::Fetch(PageId id, QueryStats* stats) {
-  XKS_ASSIGN_OR_RETURN(Frame * frame,
-                       PinFrame(id, stats, /*mark_dirty=*/false));
-  return PageRef(id, frame);
+  Result<Frame*> frame = PinFrame(id, stats, /*mark_dirty=*/false);
+  if (!frame.ok()) {
+    if (stats != nullptr) ++stats->io_errors;
+    return frame.status();
+  }
+  return PageRef(id, *frame);
 }
 
 Result<MutPageRef> BufferPool::FetchMut(PageId id, QueryStats* stats) {
-  XKS_ASSIGN_OR_RETURN(Frame * frame, PinFrame(id, stats, /*mark_dirty=*/true));
-  return MutPageRef(id, frame);
+  Result<Frame*> frame = PinFrame(id, stats, /*mark_dirty=*/true);
+  if (!frame.ok()) {
+    if (stats != nullptr) ++stats->io_errors;
+    return frame.status();
+  }
+  return MutPageRef(id, *frame);
 }
 
 Result<MutPageRef> BufferPool::NewPage() {
@@ -261,7 +268,12 @@ void BufferPool::Readahead(PageId first, size_t count, QueryStats* stats) {
                                        /*evict_if_full=*/true);
     // Best effort: a failed speculative read just means the demand
     // fetch will retry (and surface the error then, if it persists).
-    if (!loaded.ok() || !*loaded) continue;
+    // The swallowed failure is still tallied so it shows up in stats.
+    if (!loaded.ok()) {
+      if (stats != nullptr) ++stats->io_errors;
+      continue;
+    }
+    if (!*loaded) continue;
     total_readaheads_.fetch_add(1, std::memory_order_relaxed);
     if (stats != nullptr) ++stats->readahead_reads;
   }

@@ -52,6 +52,17 @@ void Document::AddAttribute(NodeId element, std::string_view name,
   attrs_[element].emplace_back(std::string(name), std::string(value));
 }
 
+Document Document::Clone() const {
+  Document copy;
+  copy.nodes_ = nodes_;
+  copy.tag_names_ = tag_names_;
+  copy.tag_ids_ = tag_ids_;
+  copy.texts_ = texts_;
+  copy.attrs_ = attrs_;
+  copy.max_level_ = max_level_;
+  return copy;
+}
+
 DeweyId Document::DeweyOf(NodeId n) const {
   assert(n < nodes_.size());
   std::vector<uint32_t> comps(nodes_[n].level + 1);

@@ -38,6 +38,12 @@ class Document {
   Document(Document&&) = default;
   Document& operator=(Document&&) = default;
 
+  /// Deep copy. Documents are move-only so a copy is never made by
+  /// accident; callers that genuinely need two owners (e.g. indexing the
+  /// same document standalone and inside a sharded collection) ask for
+  /// one explicitly.
+  Document Clone() const;
+
   /// Creates the root element. Must be the first node created.
   NodeId CreateRoot(std::string_view tag);
 

@@ -71,6 +71,27 @@ TEST(DifferentialFuzz, LargeCollections) {
   ExpectClean(report);
 }
 
+// Sharded scatter-gather parity, with fault rounds: every query also
+// runs against one sharded collection per shard count in {1, 2, 4, 7}
+// (multi-document corpora, sequential and pool-parallel execution, disk
+// path, per-shard stats identity) and must reproduce the union of the
+// per-document single-index answers. Sharding rides along in every suite
+// above too — the defaults enable it — but this run pins a dedicated
+// seed range with faults on so single-shard fault isolation (one faulted
+// shard fails the query cleanly, zero leaked pins, routed-away queries
+// unaffected, recovery exact) is exercised regardless of what the other
+// suites' schedules happen to hit.
+TEST(DifferentialFuzz, ShardedParityIncludingFaults) {
+  FuzzOptions options;
+  options.with_faults = true;
+  options.max_extra_documents = 3;
+  const FuzzReport report = RunFuzz(130'000, CasesFromEnv(60), options);
+  ExpectClean(report);
+  EXPECT_GT(report.clean_fault_errors, 0u);
+  EXPECT_GT(report.fault_survivals, 0u);
+  EXPECT_GE(report.cases, 1000u);
+}
+
 // In-memory-only sweep is cheap, so it can afford many more shapes.
 TEST(DifferentialFuzz, InMemoryOnlySweep) {
   FuzzOptions options;

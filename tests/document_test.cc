@@ -90,6 +90,33 @@ TEST(DocumentTest, AttributesStoredPerElement) {
   EXPECT_TRUE(doc.attributes(child).empty());
 }
 
+TEST(DocumentTest, CloneIsADeepIndependentCopy) {
+  Document doc = MakeSample();
+  doc.AddAttribute(doc.root(), "year", "2005");
+  const Document clone = doc.Clone();
+  ASSERT_EQ(clone.node_count(), doc.node_count());
+  for (NodeId n = 0; n < doc.node_count(); ++n) {
+    EXPECT_EQ(clone.DeweyOf(n), doc.DeweyOf(n));
+    if (doc.IsText(n)) {
+      EXPECT_EQ(clone.text(n), doc.text(n));
+    } else {
+      EXPECT_EQ(clone.tag(n), doc.tag(n));
+    }
+  }
+  ASSERT_EQ(clone.attributes(clone.root()).size(), 1u);
+  EXPECT_EQ(clone.attributes(clone.root())[0].second, "2005");
+
+  // Growing the original must not leak into the clone (and vice versa):
+  // the sharded builder clones one corpus document into several
+  // collections, which only works if the copies share nothing.
+  const size_t before = clone.node_count();
+  doc.AppendElement(doc.root(), "added");
+  doc.AddAttribute(doc.root(), "venue", "sigmod");
+  EXPECT_EQ(clone.node_count(), before);
+  EXPECT_EQ(clone.attributes(clone.root()).size(), 1u);
+  EXPECT_TRUE(clone.FindByDewey(Id("0.2")).status().IsNotFound());
+}
+
 TEST(DocumentTest, MoveTransfersOwnership) {
   Document doc = MakeSample();
   const size_t n = doc.node_count();

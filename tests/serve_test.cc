@@ -17,6 +17,7 @@
 #include "serve/query_cache.h"
 #include "serve/query_service.h"
 #include "serve/thread_pool.h"
+#include "shard/sharded_collection.h"
 #include "test_util.h"
 
 namespace xksearch {
@@ -450,6 +451,112 @@ TEST(QueryServiceTest, ServesDiskSearcherBackend) {
         << "missing \"" << needle << "\" in:\n"
         << report;
   }
+}
+
+std::unique_ptr<shard::ShardedCollection> BuildShardedCorpus(size_t shards) {
+  shard::ShardedCollectionOptions options;
+  options.shards = shards;
+  shard::ShardedCollection::Builder builder(options);
+  XKS_EXPECT_OK(builder.AddXml(
+      "papers",
+      "<papers><paper><title>keyword search</title><author>xu</author>"
+      "</paper><paper><title>slca survey</title><author>xu</author>"
+      "</paper></papers>"));
+  XKS_EXPECT_OK(builder.AddXml(
+      "books", "<books><book><title>keyword indexing</title>"
+               "<author>chen</author></book></books>"));
+  XKS_EXPECT_OK(builder.AddXml(
+      "memos", "<memos><memo>standup topics</memo></memos>"));
+  Result<std::unique_ptr<shard::ShardedCollection>> built =
+      std::move(builder).Build();
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return built.ok() ? built.MoveValueUnsafe() : nullptr;
+}
+
+TEST(QueryServiceTest, ServesShardedCollectionBackend) {
+  std::unique_ptr<shard::ShardedCollection> collection = BuildShardedCorpus(3);
+  ASSERT_NE(collection, nullptr);
+  Result<shard::ShardedResult> direct = collection->Search({"keyword"});
+  ASSERT_TRUE(direct.ok());
+  ASSERT_FALSE(direct->result.nodes.empty());
+
+  QueryServiceOptions options;
+  options.shard_exec.workers = 2;
+  QueryService service(collection.get(), options);
+  Result<QueryResponse> miss = service.Search({"keyword"});
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  EXPECT_FALSE(miss->cache_hit);
+  EXPECT_EQ(Strings(miss->result.nodes), Strings(direct->result.nodes));
+
+  // Keyword order/case never change the answer, so the canonicalized
+  // cache key turns the textual variant into a hit with the same nodes.
+  Result<QueryResponse> hit = service.Search({"KEYWORD", "keyword"});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(Strings(hit->result.nodes), Strings(direct->result.nodes));
+  EXPECT_EQ(service.metrics().cache_hits.load(), 1u);
+
+  // Engine errors surface unchanged through the service.
+  EXPECT_TRUE(service.Search({"..."}).status().IsInvalidArgument());
+}
+
+TEST(QueryServiceTest, ShardedResponseCarriesAggregatedStats) {
+  std::unique_ptr<shard::ShardedCollection> collection = BuildShardedCorpus(3);
+  ASSERT_NE(collection, nullptr);
+  // Reference run: the response-total stats must equal the field-wise sum
+  // of the per-shard stats (the aggregation identity the gather stage
+  // maintains), and the service must serve exactly those totals.
+  Result<shard::ShardedResult> direct = collection->Search({"keyword"});
+  ASSERT_TRUE(direct.ok());
+  QueryStats sum;
+  uint64_t contributed = 0;
+  for (const shard::ShardQueryStats& s : direct->shards) {
+    sum += s.stats;
+    contributed += s.results;
+  }
+  EXPECT_EQ(sum.match_ops.load(), direct->result.stats.match_ops.load());
+  EXPECT_EQ(sum.postings_read.load(),
+            direct->result.stats.postings_read.load());
+  EXPECT_EQ(sum.io_errors.load(), direct->result.stats.io_errors.load());
+  EXPECT_EQ(contributed, direct->result.nodes.size());
+
+  QueryServiceOptions options;
+  options.enable_cache = false;
+  QueryService service(collection.get(), options);
+  Result<QueryResponse> response = service.Search({"keyword"});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->result.stats.match_ops.load(), sum.match_ops.load());
+  // The service-level aggregate accumulated the same merged totals.
+  EXPECT_EQ(service.metrics().engine_stats.match_ops.load(),
+            sum.match_ops.load());
+}
+
+TEST(QueryServiceTest, ShardedMetricsReportHasPerShardGauges) {
+  std::unique_ptr<shard::ShardedCollection> collection = BuildShardedCorpus(3);
+  ASSERT_NE(collection, nullptr);
+  QueryServiceOptions options;
+  options.enable_cache = false;
+  QueryService service(collection.get(), options);
+  ASSERT_TRUE(service.Search({"keyword"}).ok());
+  // "standup" lives only in one document; the other shards are pruned
+  // and the per-shard gauges must show it.
+  ASSERT_TRUE(service.Search({"standup"}).ok());
+  const std::string report = service.MetricsReport();
+  for (const char* needle :
+       {"shard[0]:", "shard[1]:", "shard[2]:", "docs=", "executed=",
+        "pruned=", "io_errors="}) {
+    EXPECT_NE(report.find(needle), std::string::npos)
+        << "missing \"" << needle << "\" in:\n"
+        << report;
+  }
+  uint64_t executed = 0;
+  uint64_t pruned = 0;
+  for (const shard::ShardCountersSnapshot& c : collection->CountersSnapshot()) {
+    executed += c.executed;
+    pruned += c.pruned;
+  }
+  EXPECT_GT(pruned, 0u);
+  EXPECT_GT(executed, 0u);
 }
 
 }  // namespace

@@ -32,6 +32,15 @@ for preset in "${presets[@]}"; do
 done
 
 if [ "$run_slow" -eq 1 ]; then
+  # Focused rerun of the sharded-collection suites on the release build.
+  # They already ran inside the fast tier (and the concurrency-sensitive
+  # ones again under tsan via the preset filter); this stage exists so a
+  # sharding regression is reported as its own line, not buried in the
+  # full-suite output.
+  echo "==> [sharded] sharded scatter-gather stage (release build)"
+  ctest --test-dir build/release \
+    -R '(Shard|ScatterGather|BalancedPartition|TermFilter)' \
+    --output-on-failure
   echo "==> [slow] long-run fuzz/stress stage (ctest -L slow, release build)"
   ctest --test-dir build/release -L slow --output-on-failure
   echo "==> [bench-smoke] benchmark smoke stage (ctest -L bench-smoke)"

@@ -32,7 +32,10 @@ uint64_t ParseFlag(const char* arg, const char* name, uint64_t fallback) {
 void Usage() {
   std::fprintf(stderr,
                "usage: xk_fuzz [--cases=N] [--seed=S] [--queries=N]\n"
-               "               [--faults | --no-faults] [--no-disk]\n");
+               "               [--faults | --no-faults] [--no-disk]\n"
+               "               [--shards=N | --no-shards]\n"
+               "  --shards=N   check only shard count N (default: 1,2,4,7)\n"
+               "  --no-shards  skip the sharded-collection checks\n");
 }
 
 }  // namespace
@@ -58,6 +61,11 @@ int main(int argc, char** argv) {
       faults = false;
     } else if (std::strcmp(arg, "--no-disk") == 0) {
       options.with_disk = false;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      options.shard_counts = {
+          static_cast<size_t>(ParseFlag(arg, "--shards", 1))};
+    } else if (std::strcmp(arg, "--no-shards") == 0) {
+      options.shard_counts.clear();
     } else {
       Usage();
       return 2;
@@ -65,11 +73,21 @@ int main(int argc, char** argv) {
   }
   options.with_faults = faults && options.with_disk;
 
-  std::printf("xk_fuzz: %llu collections from seed %llu (disk=%s faults=%s)\n",
-              static_cast<unsigned long long>(cases),
-              static_cast<unsigned long long>(seed),
-              options.with_disk ? "on" : "off",
-              options.with_faults ? "on" : "off");
+  std::string shards = "off";
+  if (!options.shard_counts.empty()) {
+    shards.clear();
+    for (size_t n : options.shard_counts) {
+      if (!shards.empty()) shards += ',';
+      shards += std::to_string(n);
+    }
+  }
+  std::printf(
+      "xk_fuzz: %llu collections from seed %llu (disk=%s faults=%s "
+      "shards=%s)\n",
+      static_cast<unsigned long long>(cases),
+      static_cast<unsigned long long>(seed),
+      options.with_disk ? "on" : "off", options.with_faults ? "on" : "off",
+      shards.c_str());
 
   xksearch::fuzz::FuzzReport total;
   const uint64_t report_every = cases >= 10 ? cases / 10 : 1;
