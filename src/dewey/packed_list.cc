@@ -235,6 +235,18 @@ PackedDeweyList::SeekResult PackedDeweyList::Seek(DeweyView v, bool hinted,
   return ScanBlockFrom(v, target, 0, probe->next_byte_, probe, cmp_count);
 }
 
+PackedDeweyList::Decoder::Decoder(const PackedDeweyList* list,
+                                  size_t start_block)
+    : list_(list) {
+  if (start_block >= list->blocks_.size()) {
+    index_ = list->size_;  // exhausted
+    pos_ = list->arena_.size();
+  } else {
+    pos_ = list->blocks_[start_block].arena_off;
+    index_ = start_block * list->block_size_;
+  }
+}
+
 bool PackedDeweyList::Decoder::NextView(DeweyView* out) {
   if (index_ >= list_->size_) return false;
   list_->DecodeEntry(&pos_, &comps_);

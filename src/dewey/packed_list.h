@@ -58,6 +58,14 @@ class PackedDeweyList {
   size_t block_size() const { return block_size_; }
   size_t block_count() const { return blocks_.size(); }
 
+  /// The first entry of block `b`, as a view into the eagerly-decoded
+  /// skip table (no arena access). Chunk planners partition a list at
+  /// block boundaries with this, without decoding anything.
+  DeweyView block_first(size_t b) const { return BlockFirst(b); }
+
+  /// Entries in block `b` (block_size_ except possibly the last block).
+  size_t block_entries(size_t b) const { return EntriesInBlock(b); }
+
   /// Bytes of the entry arena alone (the compression-ablation number).
   size_t arena_bytes() const { return arena_.size(); }
 
@@ -127,6 +135,13 @@ class PackedDeweyList {
   class Decoder {
    public:
     explicit Decoder(const PackedDeweyList* list) : list_(list) {}
+
+    /// Decoder positioned at the first entry of block `start_block`
+    /// (chunked execution: each chunk decodes only its own block range).
+    /// Block firsts are stored with no shared prefix, so decoding starts
+    /// clean mid-list. `start_block` past the last block yields an
+    /// immediately-exhausted decoder.
+    Decoder(const PackedDeweyList* list, size_t start_block);
 
     /// Decodes the next entry as a view into internal scratch (valid
     /// until the next call). Returns false at the end of the list.

@@ -54,6 +54,8 @@ PreparedQuery Assemble(std::vector<Term> terms) {
       query.materialized.push_back(std::move(term.owned));
     }
   }
+  query.pointers.reserve(query.lists.size());
+  for (const auto& list : query.lists) query.pointers.push_back(list.get());
   return query;
 }
 

@@ -38,13 +38,12 @@ struct PreparedQuery {
   uint64_t max_frequency = 0;
   /// True iff some keyword does not occur at all (result will be empty).
   bool missing = false;
+  /// Raw views of `lists`, cached at assembly so the per-query hot path
+  /// does not allocate a fresh vector per call. The pointees live on the
+  /// heap, so moving the struct keeps them valid.
+  std::vector<KeywordList*> pointers;
 
-  std::vector<KeywordList*> list_pointers() const {
-    std::vector<KeywordList*> out;
-    out.reserve(lists.size());
-    for (const auto& list : lists) out.push_back(list.get());
-    return out;
-  }
+  const std::vector<KeywordList*>& list_pointers() const { return pointers; }
 };
 
 /// Prepares a query against the in-memory inverted index. `stats` is

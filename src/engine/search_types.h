@@ -9,6 +9,7 @@
 
 #include "common/stats.h"
 #include "dewey/dewey_id.h"
+#include "slca/parallel.h"
 #include "slca/slca.h"
 
 namespace xksearch {
@@ -58,15 +59,29 @@ struct SearchOptions {
   /// least this ratio. The crossover in the paper's Figures 8-13 sits
   /// near equal frequencies, so a small ratio favors IL correctly.
   double auto_ratio_threshold = 8.0;
+  /// Intra-query chunked execution for the eager SLCA algorithms. Pure
+  /// execution config: chunked and sequential runs return the same result
+  /// set and Table-1 counters, so this field is deliberately excluded
+  /// from equality and hashing — cached results remain valid across
+  /// executor configurations (same reasoning as the serving layer's
+  /// shard_exec).
+  ParallelExecOptions slca_exec;
 
-  /// Memberwise equality, so SearchOptions can participate in cache keys
-  /// (the serving layer keys its result cache on keywords + options).
-  friend bool operator==(const SearchOptions&, const SearchOptions&) = default;
+  /// Memberwise equality over the *semantic* fields, so SearchOptions can
+  /// participate in cache keys (the serving layer keys its result cache
+  /// on keywords + options). slca_exec is intentionally not compared.
+  friend bool operator==(const SearchOptions& a, const SearchOptions& b) {
+    return a.algorithm == b.algorithm && a.semantics == b.semantics &&
+           a.use_disk_index == b.use_disk_index &&
+           a.use_packed_lists == b.use_packed_lists &&
+           a.block_size == b.block_size &&
+           a.auto_ratio_threshold == b.auto_ratio_threshold;
+  }
 };
 
-/// \brief Hash functor over every SearchOptions field, matching
-/// operator==. Suitable for unordered_map keys; any new option field must
-/// be added to both.
+/// \brief Hash functor over every SearchOptions field that participates
+/// in operator== (slca_exec does not). Suitable for unordered_map keys;
+/// any new *semantic* option field must be added to both.
 struct SearchOptionsHash {
   size_t operator()(const SearchOptions& o) const {
     uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the fields.

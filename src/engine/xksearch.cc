@@ -111,11 +111,11 @@ Result<SearchResult> XKSearch::SearchStreaming(
     // A keyword that occurs nowhere makes the result trivially empty.
     SlcaOptions slca_options;
     slca_options.block_size = options.block_size;
-    const std::vector<KeywordList*> lists = prepared.list_pointers();
+    const std::vector<KeywordList*>& lists = prepared.list_pointers();
     switch (options.semantics) {
       case Semantics::kSlca:
-        status = ComputeSlca(result.algorithm, lists, slca_options,
-                             &result.stats, emit);
+        status = ComputeSlcaParallel(result.algorithm, lists, slca_options,
+                                     options.slca_exec, &result.stats, emit);
         break;
       case Semantics::kElca:
         status = ElcaStack(lists, slca_options, &result.stats, emit);

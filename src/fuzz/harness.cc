@@ -10,9 +10,11 @@
 #include "engine/disk_searcher.h"
 #include "engine/xksearch.h"
 #include "gen/random_tree.h"
+#include "serve/thread_pool.h"
 #include "shard/scatter_gather.h"
 #include "shard/sharded_collection.h"
 #include "slca/brute_force.h"
+#include "slca/parallel.h"
 #include "storage/fault_injection.h"
 
 namespace xksearch {
@@ -179,6 +181,10 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
     build.disk.il_pool_pages = static_cast<size_t>(rng.UniformInt(2, 16));
     build.disk.scan_pool_pages = static_cast<size_t>(rng.UniformInt(2, 16));
     build.disk.pool_shards = static_cast<size_t>(rng.UniformInt(1, 4));
+    // Tiny scan blocks so even fuzz-sized keyword lists span several
+    // blocks — that is what gives the disk chunk planner something to
+    // split (block boundaries are its partition units).
+    build.disk.scan_block_bytes = static_cast<size_t>(rng.UniformInt(48, 512));
     build.disk.readahead_pages = static_cast<size_t>(rng.UniformInt(0, 4));
     build.disk.compress_dewey = rng.Bernoulli(0.75);
     build.disk.delta_compress = rng.Bernoulli(0.75);
@@ -202,6 +208,18 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
     return report;
   }
   const XKSearch& engine = **built;
+
+  // Shared executor for the intra-query chunked runs. Pool and budget
+  // deliberately persist across queries and algorithms so chunk tasks
+  // from consecutive checks interleave on the same workers.
+  std::unique_ptr<serve::ThreadPool> chunk_pool;
+  std::unique_ptr<ConcurrencyBudget> chunk_budget;
+  if (!options.chunk_counts.empty()) {
+    serve::ThreadPool::Options po;
+    po.workers = std::max<size_t>(1, options.chunk_workers);
+    chunk_pool = std::make_unique<serve::ThreadPool>(po);
+    chunk_budget = std::make_unique<ConcurrencyBudget>(po.workers);
+  }
 
   // --- Sharded corpus: the primary document plus sampled extras, each
   // with its own single-index oracle engine, built into one sharded
@@ -322,6 +340,44 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
 
     CaseContext ctx{seed, &report, &keywords};
 
+    // Re-runs an eager query chunked and asserts the parity contract:
+    // identical emission sequence (document order, duplicate-free) and
+    // identical match_ops / results counters — both are chunk-invariant
+    // by construction, unlike comparison/posting/page counts, which may
+    // differ by bounded seam terms. min_chunk_elements is forced to 1 so
+    // fuzz-sized lists still split.
+    auto check_chunked = [&](const std::string& label,
+                             const Result<SearchResult>& sequential,
+                             SearchOptions cso, size_t chunks) {
+      if (!sequential.ok() || chunk_pool == nullptr) return;
+      cso.slca_exec.pool = chunk_pool.get();
+      cso.slca_exec.budget = chunk_budget.get();
+      cso.slca_exec.max_chunks = chunks;
+      cso.slca_exec.min_chunk_elements = 1;
+      Result<SearchResult> got = engine.Search(keywords, cso);
+      ++report.cases;
+      if (!got.ok()) {
+        ctx.Diverge(label + " failed: " + got.status().ToString());
+        return;
+      }
+      if (got->nodes != sequential->nodes) {
+        ctx.Diverge(label + " emitted " + IdsToString(got->nodes) +
+                    ", sequential emitted " + IdsToString(sequential->nodes));
+        return;
+      }
+      const uint64_t seq_match = sequential->stats.match_ops.load();
+      const uint64_t got_match = got->stats.match_ops.load();
+      const uint64_t seq_results = sequential->stats.results.load();
+      const uint64_t got_results = got->stats.results.load();
+      if (seq_match != got_match || seq_results != got_results) {
+        ctx.Diverge(label + " stats parity broke: match_ops " +
+                    std::to_string(got_match) + " vs " +
+                    std::to_string(seq_match) + ", results " +
+                    std::to_string(got_results) + " vs " +
+                    std::to_string(seq_results));
+      }
+    };
+
     // Ground truth: linear-time tree oracle, independent of the paper's
     // algorithms, plus the brute-force enumeration as a second opinion.
     Result<std::vector<DeweyId>> oracle_slca =
@@ -389,6 +445,21 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
           ctx.Diverge(label + " match_ops=" + std::to_string(packed_ops) +
                       " but " + vec_label +
                       " match_ops=" + std::to_string(vec_ops));
+        }
+      }
+      // Chunked parity over both layouts (the Stack algorithm has no
+      // chunk decomposition — ComputeSlcaParallel falls through to the
+      // sequential path, so re-running it would check nothing).
+      if (algorithm != AlgorithmChoice::kStack) {
+        for (const size_t chunks : options.chunk_counts) {
+          SearchOptions cso;
+          cso.algorithm = algorithm;
+          cso.block_size = so.block_size;
+          check_chunked(label + "/chunks=" + std::to_string(chunks), packed,
+                        cso, chunks);
+          cso.use_packed_lists = false;
+          check_chunked(vec_label + "/chunks=" + std::to_string(chunks), vec,
+                        cso, chunks);
         }
       }
     }
@@ -591,8 +662,15 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
       so.algorithm = algorithm;
       so.use_disk_index = true;
       so.block_size = static_cast<size_t>(rng.UniformInt(1, 4));
-      ctx.Check(AlgorithmLabel(algorithm, true), engine.Search(keywords, so),
-                *oracle_slca);
+      Result<SearchResult> seq = engine.Search(keywords, so);
+      ctx.Check(AlgorithmLabel(algorithm, true), seq, *oracle_slca);
+      if (algorithm != AlgorithmChoice::kStack) {
+        for (const size_t chunks : options.chunk_counts) {
+          check_chunked(std::string(AlgorithmLabel(algorithm, true)) +
+                            "/chunks=" + std::to_string(chunks),
+                        seq, so, chunks);
+        }
+      }
     }
     {
       SearchOptions so;
@@ -653,6 +731,61 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
       }
       // Recovery: the identical query, faults disarmed, must succeed.
       ctx.Check("disk/recovery", engine.Search(keywords, so), *oracle_slca);
+
+      // Chunked fault round: same contract with chunk workers hitting
+      // the armed stores concurrently — the error must surface as the
+      // injected IoError (or the exact answer), with no leaked pins on
+      // either pool and a clean chunked retry once disarmed.
+      if (algorithm == AlgorithmChoice::kStack || chunk_pool == nullptr) {
+        continue;
+      }
+      const size_t fault_chunks =
+          options.chunk_counts[rng.Uniform(options.chunk_counts.size())];
+      for (FaultInjectingPageStore* w : wrappers) {
+        w->ClearFaults();
+        w->FailReadsWithProbability(options.fault_probability,
+                                    options.faults_per_round);
+        w->Arm();
+      }
+      SearchOptions cso = so;
+      cso.slca_exec.pool = chunk_pool.get();
+      cso.slca_exec.budget = chunk_budget.get();
+      cso.slca_exec.max_chunks = fault_chunks;
+      cso.slca_exec.min_chunk_elements = 1;
+      const std::string fault_label =
+          std::string(AlgorithmLabel(algorithm, true)) + "/chunks=" +
+          std::to_string(fault_chunks) + " under faults";
+      Result<SearchResult> chunked = engine.Search(keywords, cso);
+      ++report.cases;
+      if (chunked.ok()) {
+        ++report.fault_survivals;
+        if (!SameSet(chunked->nodes, *oracle_slca)) {
+          ctx.Diverge(fault_label + " returned wrong answer " +
+                      IdsToString(chunked->nodes) + ", oracle = " +
+                      IdsToString(*oracle_slca));
+        }
+      } else {
+        ++report.clean_fault_errors;
+        if (!chunked.status().IsIoError()) {
+          ctx.Diverge(fault_label + " failed with non-IoError: " +
+                      chunked.status().ToString());
+        }
+      }
+      for (FaultInjectingPageStore* w : wrappers) {
+        w->Disarm();
+        w->ClearFaults();
+      }
+      const uint64_t chunk_il_pins =
+          engine.disk_index()->il_pool()->DebugTotalPins();
+      const uint64_t chunk_scan_pins =
+          engine.disk_index()->scan_pool()->DebugTotalPins();
+      if (chunk_il_pins != 0 || chunk_scan_pins != 0) {
+        ctx.Diverge(fault_label +
+                    " leaked pins: il=" + std::to_string(chunk_il_pins) +
+                    " scan=" + std::to_string(chunk_scan_pins));
+      }
+      ctx.Check("disk/chunked-recovery", engine.Search(keywords, cso),
+                *oracle_slca);
     }
   }
   return report;

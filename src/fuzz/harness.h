@@ -51,6 +51,16 @@ struct FuzzOptions {
   /// Extra documents sampled per collection on top of the primary one
   /// (0..max, seeded), so shard partitions have something to split.
   size_t max_extra_documents = 3;
+  /// Chunk counts for the intra-query parallel SLCA check: each eager
+  /// query (both layouts + disk) is re-run chunked at every count on a
+  /// shared pool with min_chunk_elements forced to 1, and must reproduce
+  /// the sequential run's exact result sequence plus its match_ops and
+  /// results counters. With with_faults, chunked fault rounds assert the
+  /// IoError-or-exact contract and zero leaked pins. Empty disables the
+  /// chunked checks.
+  std::vector<size_t> chunk_counts = {1, 2, 3, 8};
+  /// Workers of the shared intra-query chunk pool.
+  size_t chunk_workers = 3;
 };
 
 /// \brief One observed disagreement, minimized to its replay coordinates.

@@ -46,6 +46,15 @@ QueryService::QueryService(const XKSearch* engine, const DiskSearcher* searcher,
     shard_exec_ = std::make_unique<shard::ScatterGatherExecutor>(
         collection_, options.shard_exec);
   }
+  if (options.slca_chunk.workers > 0) {
+    ThreadPool::Options chunk_pool;
+    chunk_pool.workers = options.slca_chunk.workers;
+    chunk_pool_ = std::make_unique<ThreadPool>(chunk_pool);
+    const size_t tokens = options.slca_chunk.max_extra_workers > 0
+                              ? options.slca_chunk.max_extra_workers
+                              : options.slca_chunk.workers;
+    chunk_budget_ = std::make_unique<ConcurrencyBudget>(tokens);
+  }
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -58,14 +67,27 @@ void QueryService::Shutdown() {
 Result<SearchResult> QueryService::RunQuery(
     const std::vector<std::string>& keywords,
     const SearchOptions& options) const {
+  SearchOptions exec_options = options;
+  if (chunk_pool_ != nullptr) {
+    // Inject the service's chunk executor; the shared budget caps the
+    // extra workers across every concurrent query and (for a sharded
+    // collection) across the shard x chunk fan-out.
+    exec_options.slca_exec.pool = chunk_pool_.get();
+    exec_options.slca_exec.budget = chunk_budget_.get();
+    exec_options.slca_exec.max_chunks =
+        options_.slca_chunk.max_chunks > 0 ? options_.slca_chunk.max_chunks
+                                           : options_.slca_chunk.workers + 1;
+    exec_options.slca_exec.min_chunk_elements =
+        options_.slca_chunk.min_chunk_elements;
+  }
   if (collection_ != nullptr) {
     Result<shard::ShardedResult> sharded =
-        shard_exec_->Search(keywords, options);
+        shard_exec_->Search(keywords, exec_options);
     if (!sharded.ok()) return sharded.status();
     return std::move(sharded->result);
   }
-  return engine_ != nullptr ? engine_->Search(keywords, options)
-                            : searcher_->Search(keywords, options);
+  return engine_ != nullptr ? engine_->Search(keywords, exec_options)
+                            : searcher_->Search(keywords, exec_options);
 }
 
 QueryCacheKey QueryService::MakeCacheKey(

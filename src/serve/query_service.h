@@ -38,6 +38,25 @@ struct QueryServiceOptions {
   /// part of the cache key): execution placement never changes the
   /// answer, so cached results stay valid across executor configs.
   shard::ScatterGatherOptions shard_exec;
+  /// Intra-query chunked-SLCA execution for cache-miss queries (every
+  /// backend: engine, disk searcher, and each shard of a collection).
+  /// Like shard_exec, deliberately NOT part of the cache key.
+  struct SlcaChunkOptions {
+    /// Workers of the dedicated chunk pool; 0 disables chunking. The
+    /// pool is separate from the request pool on purpose: request
+    /// workers block waiting for their chunk tasks, so sharing one pool
+    /// could deadlock with every worker waiting and every chunk queued.
+    size_t workers = 0;
+    /// Chunks per query; 0 means workers + 1 (the coordinator runs one).
+    size_t max_chunks = 0;
+    /// Minimum S1 elements per chunk (ParallelExecOptions).
+    uint64_t min_chunk_elements = 1024;
+    /// Token budget shared by ALL queries' extra chunk workers, capping
+    /// total intra-query concurrency even when the shard scatter and the
+    /// request pool fan out on top; 0 means `workers` tokens.
+    size_t max_extra_workers = 0;
+  };
+  SlcaChunkOptions slca_chunk;
 };
 
 /// \brief One served query's payload.
@@ -134,6 +153,11 @@ class QueryService {
   MetricsRegistry metrics_;
   QueryCache cache_;
   std::atomic<bool> stopped_{false};
+  // Declared before pool_ so they are destroyed after it: request
+  // workers wait for their chunk tasks inline, so once pool_ has joined
+  // nothing can touch the chunk pool or its budget.
+  std::unique_ptr<ThreadPool> chunk_pool_;
+  std::unique_ptr<ConcurrencyBudget> chunk_budget_;
   // Last member: destroyed (joined) first, so in-flight tasks never see
   // partially-destroyed cache/metrics.
   ThreadPool pool_;

@@ -66,8 +66,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Counted before the body runs: anyone the task signals from inside
+    // its body (e.g. a coordinator latch) must already observe the tick,
+    // so "did my task run on the pool?" probes are race-free.
     ++tasks_run_;
+    task();
   }
 }
 

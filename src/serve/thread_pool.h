@@ -56,7 +56,9 @@ class ThreadPool {
     std::lock_guard<std::mutex> lock(mu_);
     return stopping_;
   }
-  /// Total tasks whose execution finished.
+  /// Total tasks picked up by a worker (ticked just before the body
+  /// runs, so completion signals sent from inside a task body always
+  /// happen-after the tick).
   uint64_t tasks_run() const { return tasks_run_; }
   size_t workers() const { return options_.workers; }
 

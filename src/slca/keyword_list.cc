@@ -1,16 +1,22 @@
 #include "slca/keyword_list.h"
 
+#include <algorithm>
+
 namespace xksearch {
 
 namespace {
 
 class VectorIterator : public KeywordListIterator {
  public:
-  VectorIterator(const std::vector<DeweyId>* ids, QueryStats* stats)
-      : ids_(ids), stats_(stats) {}
+  VectorIterator(const std::vector<DeweyId>* ids, QueryStats* stats,
+                 size_t begin = 0, size_t end = SIZE_MAX)
+      : ids_(ids),
+        stats_(stats),
+        pos_(begin),
+        end_(std::min(end, ids->size())) {}
 
   bool Next(DeweyId* out) override {
-    if (pos_ >= ids_->size()) return false;
+    if (pos_ >= end_) return false;
     *out = (*ids_)[pos_++];
     if (stats_ != nullptr) ++stats_->postings_read;
     return true;
@@ -22,6 +28,7 @@ class VectorIterator : public KeywordListIterator {
   const std::vector<DeweyId>* ids_;
   QueryStats* stats_;
   size_t pos_ = 0;
+  size_t end_;
   Status status_;
 };
 
@@ -47,6 +54,27 @@ class EmptyIterator : public KeywordListIterator {
 };
 
 }  // namespace
+
+std::vector<std::pair<uint64_t, uint64_t>> PartitionUnits(
+    uint64_t units, size_t max_chunks, uint64_t min_units) {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  if (units == 0 || max_chunks <= 1) return out;
+  if (min_units == 0) min_units = 1;
+  const uint64_t chunks = std::min<uint64_t>(
+      max_chunks, std::max<uint64_t>(1, units / min_units));
+  if (chunks <= 1) return out;
+  // Spread the remainder over the leading chunks so sizes differ by at
+  // most one unit.
+  const uint64_t base = units / chunks;
+  const uint64_t extra = units % chunks;
+  uint64_t begin = 0;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    const uint64_t len = base + (c < extra ? 1 : 0);
+    out.emplace_back(begin, len);
+    begin += len;
+  }
+  return out;
+}
 
 size_t VectorKeywordList::LowerBound(const DeweyId& v) const {
   size_t lo = 0, hi = ids_->size();
@@ -90,6 +118,41 @@ Result<std::unique_ptr<KeywordListIterator>> VectorKeywordList::NewIterator() {
       new VectorIterator(ids_, stats_));
 }
 
+Result<std::vector<ListChunk>> VectorKeywordList::PlanChunks(
+    size_t max_chunks, uint64_t min_elements) {
+  std::vector<ListChunk> chunks;
+  for (const auto& [begin, count] :
+       PartitionUnits(ids_->size(), max_chunks, min_elements)) {
+    ListChunk chunk;
+    chunk.first = (*ids_)[static_cast<size_t>(begin)];
+    chunk.begin = begin;
+    chunk.count = count;
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+Result<std::unique_ptr<KeywordListIterator>> VectorKeywordList::NewChunkIterator(
+    const ListChunk& chunk) {
+  return std::unique_ptr<KeywordListIterator>(
+      new VectorIterator(ids_, stats_, static_cast<size_t>(chunk.begin),
+                         static_cast<size_t>(chunk.begin + chunk.count)));
+}
+
+Result<std::unique_ptr<KeywordListIterator>> VectorKeywordList::NewIteratorAt(
+    const DeweyId& start, DeweyId* prev, bool* prev_valid) {
+  const size_t pos = LowerBound(start);
+  *prev_valid = pos > 0;
+  if (pos > 0) *prev = (*ids_)[pos - 1];
+  return std::unique_ptr<KeywordListIterator>(
+      new VectorIterator(ids_, stats_, pos));
+}
+
+Result<std::unique_ptr<KeywordList>> VectorKeywordList::CloneWithStats(
+    QueryStats* stats) {
+  return std::unique_ptr<KeywordList>(new VectorKeywordList(ids_, stats));
+}
+
 Result<bool> DiskKeywordList::LeftMatch(const DeweyId& v, DeweyId* out) {
   return index_->LeftMatch(term_, v, out, stats_);
 }
@@ -103,6 +166,55 @@ Result<std::unique_ptr<KeywordListIterator>> DiskKeywordList::NewIterator() {
                        index_->OpenPostings(term_, stats_));
   return std::unique_ptr<KeywordListIterator>(
       new DiskIterator(std::move(cursor)));
+}
+
+Result<std::vector<ListChunk>> DiskKeywordList::PlanChunks(
+    size_t max_chunks, uint64_t min_elements) {
+  std::vector<ListChunk> chunks;
+  if (max_chunks <= 1 || frequency_ == 0) return chunks;
+  XKS_ASSIGN_OR_RETURN(std::vector<DiskIndex::ScanBlockRef> blocks,
+                       index_->ScanBlockRefs(term_, stats_));
+  if (blocks.size() <= 1) return chunks;
+  // Translate the element threshold into blocks via the average fill;
+  // block payload budgets make fills near-uniform, so chunk work stays
+  // balanced even though exact per-block counts are unknown.
+  const uint64_t avg_fill =
+      std::max<uint64_t>(1, frequency_ / blocks.size());
+  const uint64_t min_blocks = (min_elements + avg_fill - 1) / avg_fill;
+  for (const auto& [begin, count] :
+       PartitionUnits(blocks.size(), max_chunks, min_blocks)) {
+    ListChunk chunk;
+    chunk.first = std::move(blocks[static_cast<size_t>(begin)].first);
+    chunk.begin = begin;
+    chunk.count = count;
+    chunk.opaque = std::move(blocks[static_cast<size_t>(begin)].key);
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+Result<std::unique_ptr<KeywordListIterator>> DiskKeywordList::NewChunkIterator(
+    const ListChunk& chunk) {
+  XKS_ASSIGN_OR_RETURN(
+      DiskIndex::PostingCursor cursor,
+      index_->OpenPostingsAtBlock(term_, chunk.opaque, chunk.count, stats_));
+  return std::unique_ptr<KeywordListIterator>(
+      new DiskIterator(std::move(cursor)));
+}
+
+Result<std::unique_ptr<KeywordListIterator>> DiskKeywordList::NewIteratorAt(
+    const DeweyId& start, DeweyId* prev, bool* prev_valid) {
+  XKS_ASSIGN_OR_RETURN(
+      DiskIndex::PostingCursor cursor,
+      index_->OpenPostingsFrom(term_, start, prev, prev_valid, stats_));
+  return std::unique_ptr<KeywordListIterator>(
+      new DiskIterator(std::move(cursor)));
+}
+
+Result<std::unique_ptr<KeywordList>> DiskKeywordList::CloneWithStats(
+    QueryStats* stats) {
+  return std::unique_ptr<KeywordList>(
+      new DiskKeywordList(index_, term_, frequency_, stats));
 }
 
 Result<std::unique_ptr<KeywordListIterator>> EmptyKeywordList::NewIterator() {

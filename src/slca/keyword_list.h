@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -23,6 +24,33 @@ class KeywordListIterator {
   virtual bool Next(DeweyId* out) = 0;
   virtual const Status& status() const = 0;
 };
+
+/// \brief One contiguous range of a keyword list, produced by
+/// KeywordList::PlanChunks for chunked (intra-query parallel) execution.
+///
+/// `first` is the chunk's first element; the remaining fields are
+/// backend-private addressing (element index, packed-block index, or an
+/// encoded scan-tree key) that only the producing list interprets, via
+/// NewChunkIterator. Chunks tile the list: concatenating the chunk
+/// iterators in order reproduces NewIterator exactly.
+struct ListChunk {
+  /// First element of the chunk (the seed for per-chunk scan cursors on
+  /// the *other* lists of the query).
+  DeweyId first;
+  /// Backend-private start position (element or block index).
+  uint64_t begin = 0;
+  /// Backend-private extent (element or block count).
+  uint64_t count = 0;
+  /// Backend-private cursor seed (the disk layer's encoded block key).
+  std::string opaque;
+};
+
+/// Shared chunk-planning arithmetic: splits `units` work units (elements
+/// or blocks) into at most `max_chunks` contiguous (begin, count) ranges
+/// of at least `min_units` each, sizes differing by at most one. Returns
+/// an empty vector when no real split results (fewer than two chunks).
+std::vector<std::pair<uint64_t, uint64_t>> PartitionUnits(
+    uint64_t units, size_t max_chunks, uint64_t min_units);
 
 /// \brief A keyword list `S`: the nodes directly containing one keyword,
 /// sorted by Dewey id (paper Section 2).
@@ -47,6 +75,56 @@ class KeywordList {
 
   /// Opens a fresh scan from the head of the list.
   virtual Result<std::unique_ptr<KeywordListIterator>> NewIterator() = 0;
+
+  /// Partitions the list into at most `max_chunks` contiguous chunks of
+  /// at least `min_elements` each (the last may be smaller only because
+  /// the list ran out), in list order, tiling the whole list. Returns an
+  /// empty vector when the backend does not support chunked execution or
+  /// the list is too small to split; callers then run sequentially.
+  /// Planning work (if any) is charged to the stats object the list was
+  /// constructed with.
+  virtual Result<std::vector<ListChunk>> PlanChunks(size_t max_chunks,
+                                                    uint64_t min_elements) {
+    (void)max_chunks;
+    (void)min_elements;
+    return std::vector<ListChunk>();
+  }
+
+  /// Opens an iterator over exactly one chunk previously produced by
+  /// PlanChunks on this list (or on a CloneWithStats sibling).
+  virtual Result<std::unique_ptr<KeywordListIterator>> NewChunkIterator(
+      const ListChunk& chunk) {
+    (void)chunk;
+    return Status::NotSupported("keyword list does not support chunks");
+  }
+
+  /// Opens an iterator positioned at the first element >= `start`, and
+  /// reports the greatest element < `start` through `prev`/`prev_valid`
+  /// (the predecessor). The pair (predecessor, cursor front) are adjacent
+  /// list elements — exactly the state a sequential forward scan holds
+  /// after passing `start` — which is what seeds the Scan Eager variant's
+  /// per-chunk cursors. When the first element equals `start` exactly,
+  /// blocked backends may leave the predecessor unreported (the exact
+  /// hit itself pins any probe target the predecessor could have
+  /// pinned, so seeded scans lose nothing). Positioning work is not
+  /// charged as postings read (the elements skipped are not consumed by
+  /// the algorithm).
+  virtual Result<std::unique_ptr<KeywordListIterator>> NewIteratorAt(
+      const DeweyId& start, DeweyId* prev, bool* prev_valid) {
+    (void)start;
+    (void)prev;
+    (void)prev_valid;
+    return Status::NotSupported("keyword list does not support seeks");
+  }
+
+  /// A new adapter over the same underlying list that charges its work to
+  /// `stats` instead — one per chunk worker, so per-chunk QueryStats can
+  /// be accumulated without sharing mutable adapter state across threads.
+  virtual Result<std::unique_ptr<KeywordList>> CloneWithStats(
+      QueryStats* stats) {
+    (void)stats;
+    return Status::NotSupported("keyword list does not support rebinding");
+  }
 };
 
 /// \brief In-memory list over a sorted vector; lm/rm are binary searches
@@ -61,6 +139,14 @@ class VectorKeywordList : public KeywordList {
   Result<bool> LeftMatch(const DeweyId& v, DeweyId* out) override;
   Result<bool> RightMatch(const DeweyId& v, DeweyId* out) override;
   Result<std::unique_ptr<KeywordListIterator>> NewIterator() override;
+  Result<std::vector<ListChunk>> PlanChunks(size_t max_chunks,
+                                            uint64_t min_elements) override;
+  Result<std::unique_ptr<KeywordListIterator>> NewChunkIterator(
+      const ListChunk& chunk) override;
+  Result<std::unique_ptr<KeywordListIterator>> NewIteratorAt(
+      const DeweyId& start, DeweyId* prev, bool* prev_valid) override;
+  Result<std::unique_ptr<KeywordList>> CloneWithStats(
+      QueryStats* stats) override;
 
  private:
   // First index with ids_[i] >= v.
@@ -82,6 +168,19 @@ class DiskKeywordList : public KeywordList {
   Result<bool> LeftMatch(const DeweyId& v, DeweyId* out) override;
   Result<bool> RightMatch(const DeweyId& v, DeweyId* out) override;
   Result<std::unique_ptr<KeywordListIterator>> NewIterator() override;
+  /// Disk chunks are ranges of scan-layout blocks: planning walks the
+  /// term's block keys (each key embeds the block's first Dewey id, so
+  /// chunk seeds decode straight from keys) and `min_elements` is
+  /// translated into a minimum block count via the term's average block
+  /// fill. The key walk's page accesses are charged to this query.
+  Result<std::vector<ListChunk>> PlanChunks(size_t max_chunks,
+                                            uint64_t min_elements) override;
+  Result<std::unique_ptr<KeywordListIterator>> NewChunkIterator(
+      const ListChunk& chunk) override;
+  Result<std::unique_ptr<KeywordListIterator>> NewIteratorAt(
+      const DeweyId& start, DeweyId* prev, bool* prev_valid) override;
+  Result<std::unique_ptr<KeywordList>> CloneWithStats(
+      QueryStats* stats) override;
 
  private:
   const DiskIndex* index_;
@@ -98,6 +197,9 @@ class EmptyKeywordList : public KeywordList {
   Result<bool> LeftMatch(const DeweyId&, DeweyId*) override { return false; }
   Result<bool> RightMatch(const DeweyId&, DeweyId*) override { return false; }
   Result<std::unique_ptr<KeywordListIterator>> NewIterator() override;
+  Result<std::unique_ptr<KeywordList>> CloneWithStats(QueryStats*) override {
+    return std::unique_ptr<KeywordList>(new EmptyKeywordList());
+  }
 };
 
 }  // namespace xksearch

@@ -39,6 +39,17 @@ class PackedKeywordList : public KeywordList {
   Result<bool> LeftMatch(const DeweyId& v, DeweyId* out) override;
   Result<bool> RightMatch(const DeweyId& v, DeweyId* out) override;
   Result<std::unique_ptr<KeywordListIterator>> NewIterator() override;
+  /// Packed chunks split at block boundaries: the skip table's eagerly
+  /// decoded block firsts give chunk seeds and exact element counts with
+  /// zero arena reads, so planning is free.
+  Result<std::vector<ListChunk>> PlanChunks(size_t max_chunks,
+                                            uint64_t min_elements) override;
+  Result<std::unique_ptr<KeywordListIterator>> NewChunkIterator(
+      const ListChunk& chunk) override;
+  Result<std::unique_ptr<KeywordListIterator>> NewIteratorAt(
+      const DeweyId& start, DeweyId* prev, bool* prev_valid) override;
+  Result<std::unique_ptr<KeywordList>> CloneWithStats(
+      QueryStats* stats) override;
 
  private:
   const PackedDeweyList* list_;

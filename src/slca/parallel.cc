@@ -1,0 +1,287 @@
+#include "slca/parallel.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace xksearch {
+
+namespace internal {
+
+void Stitcher::Add(const ChunkOutput& chunk) {
+  for (const DeweyId& c : chunk.confirmed) {
+    if (has_pending_) {
+      DeweyCmpCharge charge(stats_);
+      // Lemma 1 across the seam: the cross-chunk running candidate is the
+      // true running maximum at this point of the S1 order; a locally
+      // confirmed candidate that does not exceed it was confirmed against
+      // an underestimate and is really an out-of-order ancestor — drop it.
+      if (c.Compare(pending_, charge.slot()) <= 0) continue;
+      // Lemma 2: c is the pending candidate's first larger successor.
+      if (!pending_.IsAncestorOf(c)) Deliver(pending_);
+      has_pending_ = false;
+    }
+    // c survived its in-chunk witness and (if present) the cross-chunk
+    // candidate, so it is a definite SLCA.
+    Deliver(c);
+  }
+  if (!chunk.has_pending) return;
+  if (has_pending_) {
+    DeweyCmpCharge charge(stats_);
+    if (chunk.pending.Compare(pending_, charge.slot()) <= 0) return;
+    if (!pending_.IsAncestorOf(chunk.pending)) Deliver(pending_);
+  }
+  pending_ = chunk.pending;
+  has_pending_ = true;
+}
+
+void Stitcher::Finish() {
+  // The final candidate standing is always an SLCA (same as the
+  // sequential emitter's Finish).
+  if (has_pending_) Deliver(pending_);
+  has_pending_ = false;
+  FlushBlock();
+}
+
+void Stitcher::Deliver(const DeweyId& id) {
+  if (stats_ != nullptr) ++stats_->results;
+  buffered_.push_back(id);
+  if (buffered_.size() >= block_size_) FlushBlock();
+}
+
+void Stitcher::FlushBlock() {
+  for (const DeweyId& id : buffered_) emit_(id);
+  buffered_.clear();
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::ChunkOutput;
+
+/// The chunk-local half of the eager emitter: applies Lemma 1/2 against
+/// the chunk's own running candidate, but publishes survivors into the
+/// ChunkOutput instead of emitting — confirmation is only tentative until
+/// the stitch pass has seen the preceding chunks' candidates, and
+/// stats->results is charged at true emission time only.
+class ChunkCollector {
+ public:
+  ChunkCollector(QueryStats* stats, ChunkOutput* out)
+      : stats_(stats), out_(out) {}
+
+  void Offer(const DeweyId& x) {
+    if (!have_candidate_) {
+      candidate_ = x;
+      have_candidate_ = true;
+      return;
+    }
+    DeweyCmpCharge charge(stats_);
+    const int order = x.Compare(candidate_, charge.slot());
+    if (order > 0) {
+      if (!candidate_.IsAncestorOf(x)) out_->confirmed.push_back(candidate_);
+      candidate_ = x;
+    }
+    // order <= 0: Lemma 1 — drop, the chunk candidate only grows.
+  }
+
+  void Finish() {
+    if (!have_candidate_) return;
+    out_->pending = candidate_;
+    out_->has_pending = true;
+  }
+
+ private:
+  QueryStats* stats_;
+  ChunkOutput* out_;
+  DeweyId candidate_;
+  bool have_candidate_ = false;
+};
+
+/// Scan Eager's forward cursor, seeded mid-list for a chunk: the cursor
+/// starts at the lower bound of the chunk's first S1 element with `prev`
+/// the list element just before it. That pair is exactly the state a
+/// sequential cursor can reach, because every probe target is an
+/// ancestor-or-self of its S1 node: any list element e with
+/// target <= e < s1_first lies inside the target's subtree (Dewey
+/// intervals nest), so skipping it past `prev` only ever skips elements
+/// the pinned check `x.IsAncestorOrSelf(prev)` already accounts for.
+class SeededScanMatcher {
+ public:
+  explicit SeededScanMatcher(QueryStats* stats) : stats_(stats) {}
+
+  Status Init(KeywordList* list, const DeweyId& seed) {
+    XKS_ASSIGN_OR_RETURN(iter_,
+                         list->NewIteratorAt(seed, &prev_, &prev_valid_));
+    cur_valid_ = iter_->Next(&cur_);
+    return iter_->status();
+  }
+
+  /// Identical to the sequential ScanMatcher::Step, including its
+  /// match-operation charge, so match_ops parity holds per S1 element.
+  Result<DeweyId> Step(const DeweyId& x) {
+    if (stats_ != nullptr) stats_->match_ops += 2;  // one lm + one rm
+    DeweyCmpCharge charge(stats_);
+    while (cur_valid_ && cur_.Compare(x, charge.slot()) < 0) {
+      prev_ = cur_;
+      prev_valid_ = true;
+      cur_valid_ = iter_->Next(&cur_);
+      XKS_RETURN_NOT_OK(iter_->status());
+    }
+    if (prev_valid_ && x.IsAncestorOrSelf(prev_)) {
+      return x;
+    }
+    DeweyId left;
+    DeweyId right;
+    if (prev_valid_) {
+      left = x.Lca(prev_);
+      if (stats_ != nullptr) ++stats_->lca_ops;
+    }
+    if (cur_valid_) {
+      right = x.Lca(cur_);
+      if (stats_ != nullptr) ++stats_->lca_ops;
+    }
+    return Deeper(left, right);
+  }
+
+ private:
+  std::unique_ptr<KeywordListIterator> iter_;
+  QueryStats* stats_;
+  DeweyId prev_;
+  DeweyId cur_;
+  bool prev_valid_ = false;
+  bool cur_valid_ = false;
+};
+
+/// Runs the eager chain over one S1 chunk. Every keyword list is rebound
+/// through CloneWithStats so probe-hint state and stats charging are
+/// chunk-private; the underlying arenas / disk cursors are shared and
+/// read concurrently.
+Status RunChunkImpl(SlcaAlgorithm algorithm,
+                    const std::vector<KeywordList*>& lists,
+                    const ListChunk& chunk, ChunkOutput* out) {
+  QueryStats* stats = &out->stats;
+  XKS_ASSIGN_OR_RETURN(std::unique_ptr<KeywordList> s1,
+                       lists[0]->CloneWithStats(stats));
+  XKS_ASSIGN_OR_RETURN(std::unique_ptr<KeywordListIterator> iter,
+                       s1->NewChunkIterator(chunk));
+  std::vector<std::unique_ptr<KeywordList>> others;
+  others.reserve(lists.size() - 1);
+  for (size_t i = 1; i < lists.size(); ++i) {
+    XKS_ASSIGN_OR_RETURN(std::unique_ptr<KeywordList> clone,
+                         lists[i]->CloneWithStats(stats));
+    others.push_back(std::move(clone));
+  }
+
+  ChunkCollector collector(stats, out);
+  DeweyId v;
+  if (algorithm == SlcaAlgorithm::kScanEager) {
+    std::vector<SeededScanMatcher> matchers;
+    matchers.reserve(others.size());
+    for (const auto& list : others) {
+      matchers.emplace_back(stats);
+      XKS_RETURN_NOT_OK(matchers.back().Init(list.get(), chunk.first));
+    }
+    while (iter->Next(&v)) {
+      DeweyId x = v;
+      for (SeededScanMatcher& matcher : matchers) {
+        XKS_ASSIGN_OR_RETURN(x, matcher.Step(x));
+      }
+      collector.Offer(x);
+    }
+  } else {
+    while (iter->Next(&v)) {
+      DeweyId x = v;
+      for (const auto& list : others) {
+        XKS_ASSIGN_OR_RETURN(x, MatchStep(x, list.get(), stats));
+      }
+      collector.Offer(x);
+    }
+  }
+  XKS_RETURN_NOT_OK(iter->status());
+  collector.Finish();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ComputeSlcaParallel(SlcaAlgorithm algorithm,
+                           const std::vector<KeywordList*>& lists,
+                           const SlcaOptions& options,
+                           const ParallelExecOptions& exec, QueryStats* stats,
+                           const ResultCallback& emit) {
+  // The Stack algorithm is a full k-way merge with global stack state —
+  // it has no chunk decomposition; argument errors are delegated so the
+  // messages come from one place.
+  if (exec.pool == nullptr || exec.max_chunks <= 1 ||
+      algorithm == SlcaAlgorithm::kStack || lists.empty() ||
+      lists.size() > 64) {
+    return ComputeSlca(algorithm, lists, options, stats, emit);
+  }
+  for (KeywordList* list : lists) {
+    if (list->size() == 0) return Status::OK();
+  }
+  XKS_ASSIGN_OR_RETURN(
+      std::vector<ListChunk> chunks,
+      lists[0]->PlanChunks(exec.max_chunks, exec.min_chunk_elements));
+  if (chunks.size() <= 1) {
+    return ComputeSlca(algorithm, lists, options, stats, emit);
+  }
+
+  const size_t n = chunks.size();
+  std::vector<ChunkOutput> outputs(n);
+  std::vector<uint8_t> is_async(n, 0);  // written only before the wait loop
+  std::vector<uint8_t> done(n, 0);      // guarded by mu
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Chunk 0 always runs on this thread (first results reach the emitter
+  // as early as possible); chunks 1..n-1 go to the pool, each holding one
+  // budget token while in flight. A chunk that gets no token or is
+  // rejected by the pool's admission control simply stays synchronous —
+  // the wait loop below runs it inline when its turn comes.
+  for (size_t j = 1; j < n; ++j) {
+    if (exec.budget != nullptr && !exec.budget->TryAcquire()) continue;
+    auto task = [&, j]() {
+      outputs[j].status = RunChunkImpl(algorithm, lists, chunks[j], &outputs[j]);
+      if (exec.budget != nullptr) exec.budget->Release();
+      // Notify while holding the lock: the coordinator owns the latch
+      // storage and may destroy it the moment it observes done.
+      std::lock_guard<std::mutex> lock(mu);
+      done[j] = 1;
+      cv.notify_all();
+    };
+    if (exec.pool->Submit(std::move(task)).ok()) {
+      is_async[j] = 1;
+    } else if (exec.budget != nullptr) {
+      exec.budget->Release();
+    }
+  }
+
+  // Consume chunks strictly in S1 order, stitching and emitting each as
+  // soon as it (and all its predecessors) completed. Even after an error
+  // every async chunk is awaited — their tasks reference this frame.
+  internal::Stitcher stitcher(options.block_size, stats, emit);
+  Status failure;
+  for (size_t j = 0; j < n; ++j) {
+    if (is_async[j]) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done[j] != 0; });
+    } else {
+      outputs[j].status =
+          RunChunkImpl(algorithm, lists, chunks[j], &outputs[j]);
+    }
+    *stats += outputs[j].stats;
+    if (!outputs[j].status.ok()) {
+      if (failure.ok()) failure = outputs[j].status;
+    } else if (failure.ok()) {
+      stitcher.Add(outputs[j]);
+    }
+  }
+  XKS_RETURN_NOT_OK(failure);
+  stitcher.Finish();
+  return Status::OK();
+}
+
+}  // namespace xksearch

@@ -1,6 +1,7 @@
 #include "storage/disk_index.h"
 
 #include <cstring>
+#include <utility>
 
 #include "common/bitio.h"
 
@@ -308,12 +309,95 @@ Result<DiskIndex::PostingCursor> DiskIndex::OpenPostings(
   return pc;
 }
 
+Result<std::vector<DiskIndex::ScanBlockRef>> DiskIndex::ScanBlockRefs(
+    uint32_t term, QueryStats* stats) const {
+  BPlusTree::Cursor cursor = scan_tree_->NewCursor();
+  cursor.set_stats(stats);
+  std::string prefix;
+  AppendBigEndian32(term, &prefix);
+  XKS_RETURN_NOT_OK(cursor.Seek(prefix));
+  std::vector<ScanBlockRef> blocks;
+  while (cursor.Valid() && HasTermPrefix(cursor.key(), term)) {
+    ScanBlockRef ref;
+    ref.key.assign(cursor.key());
+    const std::string_view rest = cursor.key().substr(4);
+    XKS_ASSIGN_OR_RETURN(
+        ref.first,
+        codec_->Decode(reinterpret_cast<const uint8_t*>(rest.data()),
+                       rest.size()));
+    blocks.push_back(std::move(ref));
+    XKS_RETURN_NOT_OK(cursor.Next());
+  }
+  return blocks;
+}
+
+Result<DiskIndex::PostingCursor> DiskIndex::OpenPostingsAtBlock(
+    uint32_t term, std::string_view block_key, uint64_t max_blocks,
+    QueryStats* stats) const {
+  BPlusTree::Cursor cursor = scan_tree_->NewCursor();
+  cursor.set_stats(stats);
+  cursor.set_readahead(readahead_pages_);
+  XKS_RETURN_NOT_OK(cursor.Seek(block_key));
+  PostingCursor pc(this, term, std::move(cursor));
+  pc.stats_ = stats;
+  pc.blocks_remaining_ = max_blocks;
+  return pc;
+}
+
+Result<DiskIndex::PostingCursor> DiskIndex::OpenPostingsFrom(
+    uint32_t term, const DeweyId& start, DeweyId* prev, bool* prev_valid,
+    QueryStats* stats) const {
+  *prev_valid = false;
+  std::string probe;
+  EncodeIlKey(*codec_, term, start, &probe);
+  BPlusTree::Cursor cursor = scan_tree_->NewCursor();
+  cursor.set_stats(stats);
+  cursor.set_readahead(readahead_pages_);
+  // Floor search: the hosting block is the last one whose first id is
+  // <= start. When no block of this term precedes `start`, the cursor
+  // starts at the term's first block with no predecessor to report.
+  XKS_RETURN_NOT_OK(cursor.SeekForPrev(probe));
+  if (!cursor.Valid() || !HasTermPrefix(cursor.key(), term)) {
+    return OpenPostings(term, stats);
+  }
+  PostingCursor pc(this, term, std::move(cursor));
+  pc.stats_ = stats;
+  // Skip entries < start, remembering the last one skipped as the
+  // predecessor. Positioning decode is deliberately not charged as
+  // postings read: the algorithm never consumes these entries. (The
+  // uncharged skip is bounded by one block: later blocks start >= start.)
+  while (pc.decoder_.has_value() || (!pc.done_ && pc.LoadBlock())) {
+    DeweyId id;
+    if (!pc.decoder_->Next(&id)) {
+      if (!pc.decoder_->status().ok()) return pc.decoder_->status();
+      pc.decoder_.reset();
+      continue;
+    }
+    if (id < start) {
+      *prev = std::move(id);
+      *prev_valid = true;
+      continue;
+    }
+    // First entry >= start: hand it back to the cursor by rewinding the
+    // decoder one entry — cheapest done by re-decoding the block with the
+    // skipped prefix consumed again, so instead remember it for Next().
+    pc.pushed_back_ = std::move(id);
+    pc.has_pushed_back_ = true;
+    break;
+  }
+  XKS_RETURN_NOT_OK(pc.status_);
+  return pc;
+}
+
 bool DiskIndex::PostingCursor::LoadBlock() {
-  if (!cursor_.Valid() || !HasTermPrefix(cursor_.key(), term_)) {
+  if (!cursor_.Valid() || !HasTermPrefix(cursor_.key(), term_) ||
+      blocks_remaining_ == 0) {
     done_ = true;
     return false;
   }
-  block_.assign(cursor_.value());
+  --blocks_remaining_;
+  const std::string_view value = cursor_.value();
+  block_.assign(value.begin(), value.end());
   decoder_.emplace(reinterpret_cast<const uint8_t*>(block_.data()),
                    block_.size());
   status_ = cursor_.Next();
@@ -325,6 +409,12 @@ bool DiskIndex::PostingCursor::LoadBlock() {
 }
 
 bool DiskIndex::PostingCursor::Next(DeweyId* out) {
+  if (has_pushed_back_) {
+    has_pushed_back_ = false;
+    *out = std::move(pushed_back_);
+    if (stats_ != nullptr) ++stats_->postings_read;
+    return true;
+  }
   for (;;) {
     if (decoder_.has_value()) {
       if (decoder_->Next(out)) {

@@ -129,16 +129,62 @@ class DiskIndex {
     const DiskIndex* index_;
     uint32_t term_;
     BPlusTree::Cursor cursor_;
-    std::string block_;
+    /// A vector, not a string: the decoder keeps raw pointers into this
+    /// buffer, and OpenPostingsFrom engages it before the cursor is
+    /// moved into its Result. Vector moves transfer the element buffer,
+    /// so the decoder's view stays valid; a short std::string would be
+    /// relocated (SSO) and leave the decoder dangling.
+    std::vector<uint8_t> block_;
     std::optional<DeltaBlockDecoder> decoder_;
     QueryStats* stats_ = nullptr;
     Status status_;
     bool done_ = false;
+    /// Blocks this cursor may still load; ~0 = unlimited (whole list).
+    /// Chunked execution bounds each worker's cursor to its own block
+    /// range so chunks tile the list without overlap.
+    uint64_t blocks_remaining_ = ~uint64_t{0};
+    /// One-entry pushback used by OpenPostingsFrom: the in-block skip
+    /// necessarily decodes the first entry >= start before knowing it
+    /// reached it; Next() returns it before touching the decoder again.
+    DeweyId pushed_back_;
+    bool has_pushed_back_ = false;
   };
 
   /// Opens a cursor at the head of `term`'s keyword list.
   Result<PostingCursor> OpenPostings(uint32_t term,
                                      QueryStats* stats = nullptr) const;
+
+  /// \brief One scan-layout block of a term's list, located by key only.
+  struct ScanBlockRef {
+    /// The block's (term, first Dewey id) composite key, usable as a
+    /// cursor seed for OpenPostingsAtBlock.
+    std::string key;
+    /// The first id, decoded from the key (the payload is not touched).
+    DeweyId first;
+  };
+
+  /// Walks the keys of `term`'s scan blocks in order without decoding
+  /// any payload: chunk planning for intra-query parallel execution.
+  /// Leaf page accesses are charged to `stats` like any other read.
+  Result<std::vector<ScanBlockRef>> ScanBlockRefs(
+      uint32_t term, QueryStats* stats = nullptr) const;
+
+  /// Opens a cursor at the scan block whose key is `block_key` (from
+  /// ScanBlockRefs), reading at most `max_blocks` blocks before reporting
+  /// end of list — one contiguous chunk of the term's postings.
+  Result<PostingCursor> OpenPostingsAtBlock(uint32_t term,
+                                            std::string_view block_key,
+                                            uint64_t max_blocks,
+                                            QueryStats* stats = nullptr) const;
+
+  /// Opens a cursor positioned at the first posting >= `start` (a floor
+  /// search to the hosting block, then an in-block skip), reporting the
+  /// greatest posting < `start` through `prev`/`prev_valid`. The skipped
+  /// entries are not charged as postings read — they are positioning
+  /// work, not list consumption; page accesses are charged as usual.
+  Result<PostingCursor> OpenPostingsFrom(uint32_t term, const DeweyId& start,
+                                         DeweyId* prev, bool* prev_valid,
+                                         QueryStats* stats = nullptr) const;
 
   /// Evicts everything from both buffer pools (cold-cache experiments).
   Status DropCaches();

@@ -41,6 +41,10 @@ if [ "$run_slow" -eq 1 ]; then
   ctest --test-dir build/release \
     -R '(Shard|ScatterGather|BalancedPartition|TermFilter)' \
     --output-on-failure
+  # Same idea for the intra-query chunked execution suites: parity,
+  # stitcher, chunk planning and the engine wiring as one visible line.
+  echo "==> [parallel-slca] chunked intra-query stage (release build)"
+  ctest --test-dir build/release -R 'ParallelSlca' --output-on-failure
   echo "==> [slow] long-run fuzz/stress stage (ctest -L slow, release build)"
   ctest --test-dir build/release -L slow --output-on-failure
   echo "==> [bench-smoke] benchmark smoke stage (ctest -L bench-smoke)"

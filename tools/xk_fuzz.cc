@@ -34,8 +34,13 @@ void Usage() {
                "usage: xk_fuzz [--cases=N] [--seed=S] [--queries=N]\n"
                "               [--faults | --no-faults] [--no-disk]\n"
                "               [--shards=N | --no-shards]\n"
+               "               [--threads=N | --no-chunks]\n"
                "  --shards=N   check only shard count N (default: 1,2,4,7)\n"
-               "  --no-shards  skip the sharded-collection checks\n");
+               "  --no-shards  skip the sharded-collection checks\n"
+               "  --threads=N  chunk-pool workers for the intra-query\n"
+               "               parallel-SLCA parity checks (default: 3);\n"
+               "               chunk counts checked stay 1,2,3,8\n"
+               "  --no-chunks  skip the chunked parallel-SLCA checks\n");
 }
 
 }  // namespace
@@ -66,6 +71,12 @@ int main(int argc, char** argv) {
           static_cast<size_t>(ParseFlag(arg, "--shards", 1))};
     } else if (std::strcmp(arg, "--no-shards") == 0) {
       options.shard_counts.clear();
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.chunk_workers =
+          static_cast<size_t>(ParseFlag(arg, "--threads", 3));
+      if (options.chunk_workers == 0) options.chunk_counts.clear();
+    } else if (std::strcmp(arg, "--no-chunks") == 0) {
+      options.chunk_counts.clear();
     } else {
       Usage();
       return 2;
@@ -83,11 +94,14 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "xk_fuzz: %llu collections from seed %llu (disk=%s faults=%s "
-      "shards=%s)\n",
+      "shards=%s chunk-threads=%s)\n",
       static_cast<unsigned long long>(cases),
       static_cast<unsigned long long>(seed),
       options.with_disk ? "on" : "off", options.with_faults ? "on" : "off",
-      shards.c_str());
+      shards.c_str(),
+      options.chunk_counts.empty() ? "off"
+                                   : std::to_string(options.chunk_workers)
+                                         .c_str());
 
   xksearch::fuzz::FuzzReport total;
   const uint64_t report_every = cases >= 10 ? cases / 10 : 1;
