@@ -1,8 +1,15 @@
 #include "fuzz/harness.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -15,6 +22,7 @@
 #include "shard/sharded_collection.h"
 #include "slca/brute_force.h"
 #include "slca/parallel.h"
+#include "storage/disk_index.h"
 #include "storage/fault_injection.h"
 
 namespace xksearch {
@@ -117,6 +125,269 @@ struct ShardedSetup {
   std::vector<std::vector<FaultInjectingPageStore*>> wrappers;  // per shard
 };
 
+// ---------------------------------------------------------------------
+// Crash-recovery rounds.
+// ---------------------------------------------------------------------
+
+using PostingModel = std::map<std::string, std::vector<DeweyId>>;
+
+bool CopyFileBytes(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary);
+  if (!in.good()) return false;
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+  return out.good();
+}
+
+void RemoveIndexFiles(const std::string& prefix) {
+  for (const char* suffix : {".il", ".scan", ".dict", ".wal"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+/// Plans, runs and classifies the seeded crash rounds of one fuzz case;
+/// FuzzOptions::crash_rounds documents the contract. Mirrors the
+/// exhaustive sweep in tests/crash_recovery_test.cc, but samples the
+/// kill point and draws the index, the batch and the queries from the
+/// fuzzer's seed — shapes the hand-written sweep fixture cannot reach.
+void RunCrashRounds(uint64_t seed, const FuzzOptions& options,
+                    const XKSearch& engine, Rng* rng, FuzzReport* report) {
+  auto diverge = [&](std::string detail) {
+    Divergence d;
+    d.seed = seed;
+    d.detail = std::move(detail);
+    report->divergences.push_back(std::move(d));
+  };
+
+  // Pre-batch model, plus the corpus id pool the adds sample from
+  // (every pooled id is already encodable by the index's level table).
+  PostingModel pre;
+  std::vector<DeweyId> id_pool;
+  for (const std::string& term : engine.index().Terms()) {
+    pre[term] = engine.index().Materialize(term);
+    id_pool.insert(id_pool.end(), pre[term].begin(), pre[term].end());
+  }
+  if (pre.empty() || id_pool.empty()) return;  // degenerate document
+
+  // The batch: seeded removes of existing postings, adds that reuse
+  // corpus ids under other — and brand-new — terms. The post model
+  // applies removes before adds, the same order the batch runs in.
+  struct BatchOp {
+    bool is_add;
+    std::string term;
+    DeweyId id;
+  };
+  std::vector<BatchOp> ops;
+  std::map<std::string, std::set<DeweyId>> post;
+  for (const auto& [term, ids] : pre) {
+    post[term].insert(ids.begin(), ids.end());
+  }
+  for (const auto& [term, ids] : pre) {
+    if (!rng->Bernoulli(0.6)) continue;
+    for (const DeweyId& id : ids) {
+      if (!rng->Bernoulli(0.3)) continue;
+      ops.push_back({false, term, id});
+      post[term].erase(id);
+    }
+  }
+  std::vector<std::string> terms;
+  for (const auto& [term, ids] : pre) terms.push_back(term);
+  const size_t adds = 1 + rng->Uniform(8);
+  for (size_t i = 0; i < adds; ++i) {
+    const std::string term =
+        rng->Bernoulli(0.3) ? "crashterm" + std::to_string(rng->Uniform(3))
+                            : terms[rng->Uniform(terms.size())];
+    const DeweyId& id = id_pool[rng->Uniform(id_pool.size())];
+    ops.push_back({true, term, id});
+    post[term].insert(id);
+  }
+  PostingModel post_model;
+  for (const auto& [term, ids] : post) {
+    if (!ids.empty()) post_model[term].assign(ids.begin(), ids.end());
+  }
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string dir =
+      (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  const std::string tag = std::to_string(seed) + "_" +
+                          std::to_string(static_cast<long long>(::getpid()));
+  const std::string base_prefix = dir + "/xk_fuzz_crash_base_" + tag;
+  const std::string work_prefix = dir + "/xk_fuzz_crash_work_" + tag;
+  RemoveIndexFiles(base_prefix);
+  RemoveIndexFiles(work_prefix);
+  struct Cleanup {
+    const std::string& base;
+    const std::string& work;
+    ~Cleanup() {
+      RemoveIndexFiles(base);
+      RemoveIndexFiles(work);
+    }
+  } cleanup{base_prefix, work_prefix};
+
+  {
+    Result<std::unique_ptr<DiskIndex>> built =
+        DiskIndex::Build(engine.index(), base_prefix);
+    if (!built.ok()) {
+      diverge("crash-round base build failed: " + built.status().ToString());
+      return;
+    }
+  }
+  auto reset_work = [&]() -> bool {
+    for (const char* suffix : {".il", ".scan", ".dict"}) {
+      if (!CopyFileBytes(base_prefix + suffix, work_prefix + suffix)) {
+        return false;
+      }
+    }
+    std::remove((work_prefix + ".wal").c_str());
+    return true;
+  };
+  auto run_batch =
+      [&](const std::shared_ptr<CrashSchedule>& schedule) -> Status {
+    DiskIndexOptions dio;
+    dio.store_decorator = [&schedule](std::unique_ptr<PageStore> store,
+                                      std::string_view) {
+      auto wrapped =
+          std::make_unique<FaultInjectingPageStore>(std::move(store), 1);
+      wrapped->SetCrashSchedule(schedule);
+      return std::unique_ptr<PageStore>(std::move(wrapped));
+    };
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(work_prefix, dio);
+    if (!updater.ok()) return updater.status();
+    for (const BatchOp& op : ops) {
+      const Status st = op.is_add
+                            ? (*updater)->AddPosting(op.term, op.id)
+                            : (*updater)->RemovePosting(op.term, op.id);
+      if (!st.ok()) return st;
+    }
+    return (*updater)->Finish();
+  };
+
+  // Fault-free counting run: W = the kill-point domain.
+  if (!reset_work()) {
+    diverge("crash-round work copy failed");
+    return;
+  }
+  auto counting = std::make_shared<CrashSchedule>();
+  const Status counted = run_batch(counting);
+  if (!counted.ok()) {
+    diverge("crash-round counting run failed: " + counted.ToString());
+    return;
+  }
+  const uint64_t total_ops = counting->operations();
+  if (total_ops == 0) {
+    diverge("crash-round counting run saw zero durable operations");
+    return;
+  }
+
+  std::set<std::string> keyword_set;
+  for (const auto& [term, ids] : pre) keyword_set.insert(term);
+  for (const auto& [term, ids] : post_model) keyword_set.insert(term);
+  const std::vector<std::string> keywords(keyword_set.begin(),
+                                          keyword_set.end());
+
+  // Reopens the work index (WAL replay at open), reads every keyword
+  // list and checks dictionary/list agreement plus zero leaked pins.
+  auto read_state = [&](PostingModel* out) -> Status {
+    out->clear();
+    Result<std::unique_ptr<DiskIndex>> index = DiskIndex::Open(work_prefix);
+    if (!index.ok()) return index.status();
+    for (const std::string& keyword : keywords) {
+      const DiskIndex::TermInfo* info = (*index)->FindTerm(keyword);
+      if (info == nullptr) continue;
+      Result<DiskIndex::PostingCursor> cursor =
+          (*index)->OpenPostings(info->id);
+      if (!cursor.ok()) return cursor.status();
+      std::vector<DeweyId> ids;
+      DeweyId id;
+      while (cursor->Next(&id)) ids.push_back(id);
+      if (!cursor->status().ok()) return cursor->status();
+      if (info->frequency != ids.size()) {
+        return Status::Internal(
+            "dictionary frequency " + std::to_string(info->frequency) +
+            " disagrees with scan layout size " + std::to_string(ids.size()) +
+            " for " + keyword);
+      }
+      (*out)[keyword] = std::move(ids);
+    }
+    if ((*index)->il_pool()->DebugTotalPins() != 0 ||
+        (*index)->scan_pool()->DebugTotalPins() != 0) {
+      return Status::Internal("recovered index leaked pins");
+    }
+    return Status::OK();
+  };
+
+  for (size_t round = 0; round < options.crash_rounds; ++round) {
+    const uint64_t k = 1 + rng->Uniform(total_ops);
+    const std::string label = "crash round " + std::to_string(round) +
+                              " (kill at op " + std::to_string(k) + "/" +
+                              std::to_string(total_ops) + ")";
+    if (!reset_work()) {
+      diverge(label + ": work copy failed");
+      return;
+    }
+    auto schedule = std::make_shared<CrashSchedule>();
+    schedule->CrashAtOperation(k);
+    const Status crashed = run_batch(schedule);
+    ++report->cases;
+    if (crashed.ok()) {
+      diverge(label + ": batch survived its kill point");
+      continue;
+    }
+    if (!crashed.IsIoError()) {
+      diverge(label + ": died with non-IoError: " + crashed.ToString());
+      continue;
+    }
+    PostingModel state;
+    const Status read = read_state(&state);
+    if (!read.ok()) {
+      diverge(label + ": recovery read failed: " + read.ToString());
+      continue;
+    }
+    const PostingModel* oracle = nullptr;
+    if (state == pre) {
+      ++report->crash_landed_pre;
+      oracle = &pre;
+    } else if (state == post_model) {
+      ++report->crash_landed_post;
+      oracle = &post_model;
+    } else {
+      diverge(label + ": recovered index is neither pre- nor post-batch");
+      continue;
+    }
+
+    // Query parity on the recovered index through the real search path
+    // against the matching side's brute-force SLCA.
+    std::vector<std::string> query;
+    std::vector<std::vector<DeweyId>> lists;
+    for (int i = 0; i < 2; ++i) {
+      const std::string& kw = keywords[rng->Uniform(keywords.size())];
+      query.push_back(kw);
+      auto it = oracle->find(kw);
+      lists.push_back(it == oracle->end() ? std::vector<DeweyId>{}
+                                          : it->second);
+    }
+    Result<std::unique_ptr<DiskSearcher>> searcher =
+        DiskSearcher::Open(work_prefix);
+    if (!searcher.ok()) {
+      diverge(label +
+              ": searcher open failed: " + searcher.status().ToString());
+      continue;
+    }
+    Result<SearchResult> got = (*searcher)->Search(query);
+    ++report->cases;
+    if (!got.ok()) {
+      diverge(label + ": recovered query failed: " + got.status().ToString());
+      continue;
+    }
+    const std::vector<DeweyId> expected = BruteForceSlca(lists);
+    if (!SameSet(got->nodes, expected)) {
+      diverge(label + ": recovered query = " + IdsToString(got->nodes) +
+              ", batch-boundary oracle = " + IdsToString(expected));
+    }
+  }
+}
+
 const char* AlgorithmLabel(AlgorithmChoice a, bool disk) {
   switch (a) {
     case AlgorithmChoice::kIndexedLookupEager:
@@ -137,6 +408,8 @@ void FuzzReport::Merge(const FuzzReport& other) {
   cases += other.cases;
   clean_fault_errors += other.clean_fault_errors;
   fault_survivals += other.fault_survivals;
+  crash_landed_pre += other.crash_landed_pre;
+  crash_landed_post += other.crash_landed_post;
   divergences.insert(divergences.end(), other.divergences.begin(),
                      other.divergences.end());
 }
@@ -787,6 +1060,10 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
       ctx.Check("disk/chunked-recovery", engine.Search(keywords, cso),
                 *oracle_slca);
     }
+  }
+
+  if (options.crash_rounds > 0) {
+    RunCrashRounds(seed, options, engine, &rng, &report);
   }
   return report;
 }

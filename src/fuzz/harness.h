@@ -51,6 +51,19 @@ struct FuzzOptions {
   /// Extra documents sampled per collection on top of the primary one
   /// (0..max, seeded), so shard partitions have something to split.
   size_t max_extra_documents = 3;
+  /// Seeded crash-recovery rounds per collection. Each round builds a
+  /// file-backed copy of the collection's index under the system temp
+  /// dir, plans a seeded update batch (removes of existing postings,
+  /// adds sampled from the corpus id pool, a brand-new term), measures
+  /// the batch's durable-operation count W with a fault-free counting
+  /// run, then re-runs it killed at a seeded durable operation k in
+  /// [1, W]. The reopened index (WAL replay at open) must be exactly
+  /// the pre-batch or exactly the post-batch posting state — never a
+  /// hybrid — with dictionary/list agreement, zero leaked pins, and
+  /// query parity against the matching side's brute-force SLCA.
+  /// 0 disables crash rounds (they are the only fuzz stage that
+  /// touches the filesystem).
+  size_t crash_rounds = 0;
   /// Chunk counts for the intra-query parallel SLCA check: each eager
   /// query (both layouts + disk) is re-run chunked at every count on a
   /// shared pool with min_chunk_elements forced to 1, and must reproduce
@@ -80,6 +93,11 @@ struct FuzzReport {
   uint64_t clean_fault_errors = 0;
   /// Fault-mode queries that succeeded despite the armed schedule.
   uint64_t fault_survivals = 0;
+  /// Crash rounds whose recovered index was the pre-batch state (the
+  /// kill fired before the commit frame's fsync completed).
+  uint64_t crash_landed_pre = 0;
+  /// Crash rounds whose recovered index was the post-batch state.
+  uint64_t crash_landed_post = 0;
   std::vector<Divergence> divergences;
 
   bool ok() const { return divergences.empty(); }

@@ -89,6 +89,11 @@ std::string MetricsRegistry::ReportText(const Gauges& gauges) const {
   };
   pool_line("il_pool:           ", gauges.il_pool);
   pool_line("scan_pool:         ", gauges.scan_pool);
+  os << "wal:               recoveries=" << gauges.wal.recoveries
+     << " batches_replayed=" << gauges.wal.batches_replayed
+     << " bytes_replayed=" << gauges.wal.bytes_replayed
+     << " commits=" << gauges.wal.commits
+     << " wal_bytes=" << gauges.wal.wal_bytes << "\n";
   for (const ShardGauges& shard : gauges.shards) {
     os << "shard[" << shard.shard << "]:          docs=" << shard.documents
        << " executed=" << shard.executed << " pruned=" << shard.pruned

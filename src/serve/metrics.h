@@ -115,11 +115,24 @@ class MetricsRegistry {
     PoolGauges scan_pool;
   };
 
+  /// Write-ahead-log activity, sampled from the process-wide WalCounters
+  /// at report time. `recoveries` > 0 means some open replayed a batch a
+  /// crashed updater left behind — expected after a crash, a red flag if
+  /// it keeps climbing on a machine that is not crashing.
+  struct WalGauges {
+    uint64_t recoveries = 0;
+    uint64_t batches_replayed = 0;
+    uint64_t bytes_replayed = 0;
+    uint64_t commits = 0;
+    uint64_t wal_bytes = 0;  // bytes committed through the log
+  };
+
   /// Instantaneous values sampled by the caller at report time.
   struct Gauges {
     size_t queue_depth = 0;
     size_t workers = 0;
     QueryCache::Stats cache;
+    WalGauges wal;
     /// Disk-index buffer pools; present=false when the served engine has
     /// no disk index.
     PoolGauges il_pool;

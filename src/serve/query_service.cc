@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "index/tokenizer.h"
+#include "storage/wal.h"
 
 namespace xksearch {
 namespace serve {
@@ -199,6 +200,16 @@ std::string QueryService::MetricsReport() const {
   gauges.queue_depth = pool_.queue_depth();
   gauges.workers = pool_.workers();
   gauges.cache = cache_.GetStats();
+  {
+    const WalCounters& wal = WalCounters::Instance();
+    gauges.wal.recoveries = wal.recoveries.load(std::memory_order_relaxed);
+    gauges.wal.batches_replayed =
+        wal.batches_replayed.load(std::memory_order_relaxed);
+    gauges.wal.bytes_replayed =
+        wal.bytes_replayed.load(std::memory_order_relaxed);
+    gauges.wal.commits = wal.commits.load(std::memory_order_relaxed);
+    gauges.wal.wal_bytes = wal.bytes_committed.load(std::memory_order_relaxed);
+  }
   auto sample = [](const BufferPool& pool) {
     MetricsRegistry::PoolGauges g;
     g.present = true;

@@ -25,10 +25,14 @@ namespace xksearch {
 /// Flush() writes the dirty pages and the meta page. Simplifications,
 /// chosen for the read-mostly index workload and called out here
 /// deliberately: underfull nodes are not rebalanced (only emptied nodes
-/// are unlinked), freed pages are not recycled, and there is no
-/// write-ahead log — a crash between flushes loses the unflushed batch
-/// but never corrupts a previously flushed tree image... provided the
-/// caller flushes at consistent points.
+/// are unlinked), freed pages are not recycled, and the tree itself has
+/// no write-ahead log. Crash atomicity lives a layer up:
+/// DiskIndexUpdater stages this tree's writes behind a StagedPageStore
+/// and commits them through the Wal (storage/wal.h), so a crash
+/// mid-batch never leaves a half-flushed tree image on disk. A caller
+/// flushing straight to a file gets the old contract — a crash between
+/// flushes loses the unflushed batch but never corrupts a previously
+/// flushed tree image, provided the caller flushes at consistent points.
 class BPlusTreeMut {
  public:
   /// Creates an empty tree in an empty store (writes the meta page).

@@ -1,5 +1,7 @@
 #include "storage/disk_index.h"
 
+#include <sys/stat.h>
+
 #include <cstring>
 #include <utility>
 
@@ -11,6 +13,49 @@ namespace {
 
 // Index metadata blob: level table + codec flags.
 constexpr uint8_t kMetaFormatVersion = 2;
+
+// WAL frame store ids (stable on-disk protocol, do not renumber).
+constexpr uint8_t kWalStoreIl = 0;
+constexpr uint8_t kWalStoreScan = 1;
+constexpr uint8_t kWalStoreDict = 2;
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// Opens `<prefix>.wal` (creating it when `create` allows) through the
+// options' store decorator, like every other store of the index.
+Result<std::unique_ptr<Wal>> OpenWalFile(const std::string& path_prefix,
+                                         const DiskIndexOptions& options,
+                                         bool create) {
+  const std::string path = path_prefix + ".wal";
+  std::unique_ptr<PageStore> store;
+  if (FileExists(path)) {
+    XKS_ASSIGN_OR_RETURN(store, FilePageStore::Open(path));
+  } else if (create) {
+    XKS_ASSIGN_OR_RETURN(store, FilePageStore::Create(path));
+  } else {
+    return Status::NotFound("no write-ahead log at " + path);
+  }
+  if (options.store_decorator) {
+    store = options.store_decorator(std::move(store), "wal");
+  }
+  return Wal::Open(std::move(store));
+}
+
+// Records a crash recovery in the process-wide counters, but only when
+// the replay actually applied something: an empty (already-reset) log is
+// the normal state after every clean Finish.
+void RecordRecovery(const WalRecoveryStats& stats) {
+  if (stats.batches_applied == 0) return;
+  WalCounters& counters = WalCounters::Instance();
+  counters.recoveries.fetch_add(1, std::memory_order_relaxed);
+  counters.batches_replayed.fetch_add(stats.batches_applied,
+                                      std::memory_order_relaxed);
+  counters.bytes_replayed.fetch_add(stats.bytes_scanned,
+                                    std::memory_order_relaxed);
+}
 
 void AppendBigEndian32(uint32_t v, std::string* out) {
   out->push_back(static_cast<char>((v >> 24) & 0xff));
@@ -213,6 +258,24 @@ Result<std::unique_ptr<DiskIndex>> DiskIndex::Open(
         options.store_decorator(std::move(index->scan_store_), "scan");
     index->dict_store_ =
         options.store_decorator(std::move(index->dict_store_), "dict");
+  }
+  // Crash recovery: a `.wal` left behind by a crashed updater may hold a
+  // committed-but-unapplied batch. Replay it into the freshly opened
+  // stores before any tree or dictionary is read, so the index below
+  // is always a whole batch boundary — exactly pre- or post-batch.
+  if (options.use_wal && FileExists(path_prefix + ".wal")) {
+    std::unique_ptr<Wal> wal;
+    XKS_ASSIGN_OR_RETURN(wal,
+                         OpenWalFile(path_prefix, options, /*create=*/false));
+    PageStore* const targets[] = {index->il_store_.get(),
+                                  index->scan_store_.get(),
+                                  index->dict_store_.get()};
+    XKS_ASSIGN_OR_RETURN(
+        const WalRecoveryStats stats,
+        wal->Recover([&targets](uint8_t id) -> PageStore* {
+          return id <= kWalStoreDict ? targets[id] : nullptr;
+        }));
+    RecordRecovery(stats);
   }
   XKS_RETURN_NOT_OK(index->InitTreesAndDict(options));
   return index;
@@ -456,10 +519,48 @@ Result<std::unique_ptr<DiskIndexUpdater>> DiskIndexUpdater::Open(
                        FilePageStore::Open(path_prefix + ".il"));
   XKS_ASSIGN_OR_RETURN(updater->scan_store_,
                        FilePageStore::Open(path_prefix + ".scan"));
-  updater->il_pool_ = std::make_unique<BufferPool>(updater->il_store_.get(),
-                                                   options.il_pool_pages);
-  updater->scan_pool_ = std::make_unique<BufferPool>(
-      updater->scan_store_.get(), options.scan_pool_pages);
+  if (options.use_wal) {
+    XKS_ASSIGN_OR_RETURN(updater->dict_store_,
+                         FilePageStore::Open(path_prefix + ".dict"));
+  }
+  if (options.store_decorator) {
+    updater->il_store_ =
+        options.store_decorator(std::move(updater->il_store_), "il");
+    updater->scan_store_ =
+        options.store_decorator(std::move(updater->scan_store_), "scan");
+    if (updater->dict_store_ != nullptr) {
+      updater->dict_store_ =
+          options.store_decorator(std::move(updater->dict_store_), "dict");
+    }
+  }
+  PageStore* il_base = updater->il_store_.get();
+  PageStore* scan_base = updater->scan_store_.get();
+  if (options.use_wal) {
+    // Replay any committed batch a crashed predecessor left behind, then
+    // stack the staging overlays: from here on nothing reaches the inner
+    // files until this updater's own batch commits.
+    XKS_ASSIGN_OR_RETURN(updater->wal_,
+                         OpenWalFile(path_prefix, options, /*create=*/true));
+    PageStore* const targets[] = {il_base, scan_base,
+                                  updater->dict_store_.get()};
+    XKS_ASSIGN_OR_RETURN(
+        const WalRecoveryStats stats,
+        updater->wal_->Recover([&targets](uint8_t id) -> PageStore* {
+          return id <= kWalStoreDict ? targets[id] : nullptr;
+        }));
+    RecordRecovery(stats);
+    updater->recovered_batches_ = stats.batches_applied;
+    updater->il_staged_ = std::make_unique<StagedPageStore>(il_base);
+    updater->scan_staged_ = std::make_unique<StagedPageStore>(scan_base);
+    updater->dict_staged_ =
+        std::make_unique<StagedPageStore>(updater->dict_store_.get());
+    il_base = updater->il_staged_.get();
+    scan_base = updater->scan_staged_.get();
+  }
+  updater->il_pool_ =
+      std::make_unique<BufferPool>(il_base, options.il_pool_pages);
+  updater->scan_pool_ =
+      std::make_unique<BufferPool>(scan_base, options.scan_pool_pages);
   XKS_ASSIGN_OR_RETURN(BPlusTreeMut il_tree,
                        BPlusTreeMut::Open(updater->il_pool_.get()));
   updater->il_tree_ = std::make_unique<BPlusTreeMut>(std::move(il_tree));
@@ -475,11 +576,18 @@ Result<std::unique_ptr<DiskIndexUpdater>> DiskIndexUpdater::Open(
   updater->tokenizer_ = meta.tokenizer;
   updater->total_postings_ = meta.total_postings;
 
-  // Load the dictionary; term ids stay stable, new terms extend it.
+  // Load the dictionary; term ids stay stable, new terms extend it. In
+  // WAL mode the dict store is already held (and recovered); the legacy
+  // path opens it transiently, as it is only rewritten at Finish.
   {
-    XKS_ASSIGN_OR_RETURN(std::unique_ptr<FilePageStore> dict_store,
-                         FilePageStore::Open(path_prefix + ".dict"));
-    BufferPool dict_pool(dict_store.get(), 64);
+    std::unique_ptr<PageStore> transient;
+    PageStore* dict = updater->dict_store_.get();
+    if (dict == nullptr) {
+      XKS_ASSIGN_OR_RETURN(transient,
+                           FilePageStore::Open(path_prefix + ".dict"));
+      dict = transient.get();
+    }
+    BufferPool dict_pool(dict, 64);
     XKS_ASSIGN_OR_RETURN(BPlusTree dict_tree, BPlusTree::Open(&dict_pool));
     BPlusTree::Cursor cursor = dict_tree.NewCursor();
     XKS_RETURN_NOT_OK(cursor.SeekToFirst());
@@ -666,19 +774,65 @@ Status DiskIndexUpdater::Finish() {
   terms.reserve(dict_.size());
   for (const auto& [term, info] : dict_) terms.push_back(term);
   std::sort(terms.begin(), terms.end());
+  auto build_dict = [&](PageStore* store) -> Status {
+    BPlusTreeBuilder builder(store);
+    for (const std::string& term : terms) {
+      const DiskIndex::TermInfo& info = dict_.at(term);
+      std::vector<uint8_t> value;
+      PutVarint32(&value, info.id);
+      PutVarint64(&value, info.frequency);
+      XKS_RETURN_NOT_OK(builder.Add(
+          term, std::string_view(reinterpret_cast<const char*>(value.data()),
+                                 value.size())));
+    }
+    return builder.Finish();
+  };
+  if (options_.use_wal) {
+    // The rebuild goes through the dict overlay (emptied first — the
+    // bulk builder wants a fresh store), so like the tree flushes above
+    // it is part of the staged batch, not an in-place file rewrite.
+    XKS_RETURN_NOT_OK(dict_staged_->Truncate(0));
+    XKS_RETURN_NOT_OK(build_dict(dict_staged_.get()));
+    return CommitBatch();
+  }
   XKS_ASSIGN_OR_RETURN(std::unique_ptr<FilePageStore> dict_store,
                        FilePageStore::Create(path_prefix_ + ".dict"));
-  BPlusTreeBuilder builder(dict_store.get());
-  for (const std::string& term : terms) {
-    const DiskIndex::TermInfo& info = dict_.at(term);
-    std::vector<uint8_t> value;
-    PutVarint32(&value, info.id);
-    PutVarint64(&value, info.frequency);
-    XKS_RETURN_NOT_OK(builder.Add(
-        term, std::string_view(reinterpret_cast<const char*>(value.data()),
-                               value.size())));
+  return build_dict(dict_store.get());
+}
+
+Status DiskIndexUpdater::CommitBatch() {
+  XKS_RETURN_NOT_OK(wal_->AppendBegin(total_postings_));
+  const struct {
+    uint8_t id;
+    StagedPageStore* staged;
+  } stores[] = {{kWalStoreIl, il_staged_.get()},
+                {kWalStoreScan, scan_staged_.get()},
+                {kWalStoreDict, dict_staged_.get()}};
+  for (const auto& entry : stores) {
+    XKS_RETURN_NOT_OK(wal_->AppendTruncate(entry.id,
+                                           entry.staged->page_count()));
+    for (const PageId page : entry.staged->StagedPageIds()) {
+      XKS_RETURN_NOT_OK(wal_->AppendPageImage(entry.id, page,
+                                              *entry.staged->StagedPage(page)));
+    }
   }
-  return builder.Finish();
+  // The single durability barrier: after this fsync the batch survives
+  // any crash; before it, a crash leaves the inner files untouched.
+  XKS_RETURN_NOT_OK(wal_->Commit());
+  // Apply by replaying the log into the real files — the exact code path
+  // crash recovery takes, so every successful Finish exercises it.
+  PageStore* const targets[] = {il_staged_->inner(), scan_staged_->inner(),
+                                dict_staged_->inner()};
+  XKS_ASSIGN_OR_RETURN(const WalRecoveryStats stats,
+                       wal_->Recover([&targets](uint8_t id) -> PageStore* {
+                         return id <= kWalStoreDict ? targets[id] : nullptr;
+                       }));
+  if (stats.batches_applied != 1) {
+    return Status::Internal("batch apply replayed " +
+                            std::to_string(stats.batches_applied) +
+                            " batches, expected exactly 1");
+  }
+  return Status::OK();
 }
 
 }  // namespace xksearch

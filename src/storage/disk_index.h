@@ -20,6 +20,7 @@
 #include "storage/bptree_mut.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/wal.h"
 
 namespace xksearch {
 
@@ -48,10 +49,18 @@ struct DiskIndexOptions {
   bool compress_dewey = true;
   /// Prefix-delta compression inside posting blocks (ablation X2).
   bool delta_compress = true;
-  /// Test hook: wraps each page store the index creates (Build and Open)
-  /// before any pool or tree touches it. `name` is "il", "scan" or
-  /// "dict". Fault-injection tests interpose FaultInjectingPageStore
-  /// here; returning the store unchanged is always valid.
+  /// Crash consistency for incremental updates (file mode only): the
+  /// updater stages every batch behind a write-ahead log at
+  /// `<prefix>.wal` and Open/DiskIndexUpdater::Open replay any
+  /// committed-but-unapplied batch before touching the trees, making
+  /// each batch atomic across il/scan/dict. Off restores the legacy
+  /// in-place write path (no `.wal` file, no atomicity).
+  bool use_wal = true;
+  /// Test hook: wraps each page store the index creates (Build, Open and
+  /// the updater) before any pool or tree touches it. `name` is "il",
+  /// "scan", "dict" or "wal". Fault-injection tests interpose
+  /// FaultInjectingPageStore here; returning the store unchanged is
+  /// always valid.
   std::function<std::unique_ptr<PageStore>(std::unique_ptr<PageStore>,
                                            std::string_view name)>
       store_decorator;
@@ -241,8 +250,23 @@ class DiskIndex {
 /// rejected with InvalidArgument — rebuilding with a wider table is the
 /// remedy, never a silent lossy encoding.
 ///
+/// **Crash consistency** (DiskIndexOptions::use_wal, the default): the
+/// whole batch — every AddPosting/RemovePosting between Open and
+/// Finish — is staged in memory (StagedPageStore overlays under the
+/// buffer pools), written to `<prefix>.wal` as checksummed page-image
+/// frames, made durable by the commit frame's single fsync, and only
+/// then replayed into the il/scan/dict files. A crash at any point
+/// leaves the files either exactly pre-batch (commit frame not durable:
+/// recovery discards the torn log) or exactly post-batch (commit frame
+/// durable: recovery replays it idempotently) — never a hybrid.
+/// Recovery runs automatically in DiskIndex::Open and
+/// DiskIndexUpdater::Open when a `.wal` file is present.
+///
 /// Open the index with DiskIndex::Open / DiskSearcher only after
-/// Finish(); the updater holds the files exclusively.
+/// Finish(); the updater holds the files exclusively for writing. A
+/// DiskSearcher opened *before* the batch keeps serving the exact
+/// pre-batch snapshot throughout (the overlay keeps the files
+/// untouched until commit).
 class DiskIndexUpdater {
  public:
   static Result<std::unique_ptr<DiskIndexUpdater>> Open(
@@ -264,6 +288,9 @@ class DiskIndexUpdater {
 
   uint64_t total_postings() const { return total_postings_; }
   uint64_t Frequency(std::string_view keyword) const;
+  /// Committed-but-unapplied batches from a previous (crashed) process
+  /// that Open() replayed before this updater touched anything.
+  uint64_t recovered_batches() const { return recovered_batches_; }
 
  private:
   DiskIndexUpdater() = default;
@@ -271,11 +298,20 @@ class DiskIndexUpdater {
   Status InsertIntoBlock(uint32_t term, const DeweyId& id);
   Status RemoveFromBlock(uint32_t term, const DeweyId& id);
   Status WriteBlock(const std::string& key, const std::vector<DeweyId>& ids);
+  /// WAL-mode Finish tail: logs every staged page as one batch, commits,
+  /// then applies the batch by replaying the log into the inner stores —
+  /// the same code path crash recovery takes.
+  Status CommitBatch();
 
   std::string path_prefix_;
   DiskIndexOptions options_;
   std::unique_ptr<PageStore> il_store_;
   std::unique_ptr<PageStore> scan_store_;
+  std::unique_ptr<PageStore> dict_store_;  // held only in WAL mode
+  std::unique_ptr<StagedPageStore> il_staged_;
+  std::unique_ptr<StagedPageStore> scan_staged_;
+  std::unique_ptr<StagedPageStore> dict_staged_;
+  std::unique_ptr<Wal> wal_;
   std::unique_ptr<BufferPool> il_pool_;
   std::unique_ptr<BufferPool> scan_pool_;
   std::unique_ptr<BPlusTreeMut> il_tree_;
@@ -287,6 +323,7 @@ class DiskIndexUpdater {
   std::unordered_map<std::string, DiskIndex::TermInfo> dict_;
   uint32_t next_term_id_ = 0;
   uint64_t total_postings_ = 0;
+  uint64_t recovered_batches_ = 0;
   bool finished_ = false;
 };
 

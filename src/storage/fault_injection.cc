@@ -36,6 +36,15 @@ void FaultInjectingPageStore::FailNthWrite(uint64_t n, StatusCode code) {
   AddRule(std::move(rule));
 }
 
+void FaultInjectingPageStore::FailNthSync(uint64_t n, StatusCode code) {
+  FaultRule rule;
+  rule.op = FaultRule::Op::kSync;
+  rule.skip = n == 0 ? 0 : n - 1;
+  rule.code = code;
+  rule.message = "injected fault on sync " + std::to_string(n);
+  AddRule(std::move(rule));
+}
+
 void FaultInjectingPageStore::FailPageReads(PageId page, uint64_t times) {
   FaultRule rule;
   rule.op = FaultRule::Op::kRead;
@@ -114,8 +123,75 @@ Status FaultInjectingPageStore::Consult(FaultRule::Op op, PageId id,
   return injected;
 }
 
+Status FaultInjectingPageStore::CrashGate(bool is_sync) {
+  if (dead_.load(std::memory_order_acquire)) {
+    return Status::IoError("simulated crash: store is down");
+  }
+  std::shared_ptr<CrashSchedule> schedule;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    schedule = crash_;
+  }
+  if (schedule == nullptr) return Status::OK();
+  if (schedule->TickOp(is_sync)) {
+    // The fatal operation: kill the whole simulated process, this store
+    // included, before the operation reaches any inner file.
+    schedule->CrashAll();
+    return Status::IoError("simulated crash at durable operation " +
+                           std::to_string(schedule->operations()));
+  }
+  return Status::OK();
+}
+
+void FaultInjectingPageStore::RecordUndo(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!track_unsynced_ || id >= synced_count_) return;
+  if (undo_.count(id) != 0) return;
+  auto image = std::make_unique<Page>();
+  if (!inner_->ReadPage(id, image.get()).ok()) return;
+  undo_.emplace(id, std::move(image));
+}
+
+void FaultInjectingPageStore::SetCrashSchedule(
+    std::shared_ptr<CrashSchedule> schedule) {
+  schedule->Attach(this);
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_ = std::move(schedule);
+  track_unsynced_ = true;
+  synced_count_ = inner_->page_count();
+  undo_.clear();
+}
+
+void FaultInjectingPageStore::SimulateCrash() {
+  dead_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!track_unsynced_) return;
+  // Roll the inner store back to its last-synced state: unsynced growth
+  // is cut off, unsynced overwrites revert to their undo images.
+  while (inner_->page_count() < synced_count_) {
+    if (!inner_->AllocatePage().ok()) break;
+  }
+  for (const auto& [id, image] : undo_) {
+    if (id < synced_count_) (void)inner_->WritePage(id, *image);
+  }
+  (void)inner_->Truncate(synced_count_);
+  undo_.clear();
+}
+
+void CrashSchedule::CrashAll() {
+  std::vector<FaultInjectingPageStore*> stores;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stores = stores_;
+  }
+  for (FaultInjectingPageStore* store : stores) store->SimulateCrash();
+}
+
 Status FaultInjectingPageStore::ReadPage(PageId id, Page* out) {
   reads_.fetch_add(1, std::memory_order_relaxed);
+  if (dead_.load(std::memory_order_acquire)) {
+    return Status::IoError("simulated crash: store is down");
+  }
   bool torn = false;
   XKS_RETURN_NOT_OK(Consult(FaultRule::Op::kRead, id, &torn));
   return inner_->ReadPage(id, out);
@@ -123,12 +199,17 @@ Status FaultInjectingPageStore::ReadPage(PageId id, Page* out) {
 
 Status FaultInjectingPageStore::WritePage(PageId id, const Page& page) {
   writes_.fetch_add(1, std::memory_order_relaxed);
+  XKS_RETURN_NOT_OK(CrashGate(/*is_sync=*/false));
   bool torn = false;
   const Status injected = Consult(FaultRule::Op::kWrite, id, &torn);
-  if (injected.ok()) return inner_->WritePage(id, page);
+  if (injected.ok()) {
+    RecordUndo(id);
+    return inner_->WritePage(id, page);
+  }
   if (torn) {
     // Half the new bytes land, the rest keeps whatever the store held
     // (zeros if the page was never written): a crashed partial write.
+    RecordUndo(id);
     Page partial;
     if (!inner_->ReadPage(id, &partial).ok()) partial.Zero();
     std::copy(page.data.begin(), page.data.begin() + kPageSize / 2,
@@ -141,11 +222,39 @@ Status FaultInjectingPageStore::WritePage(PageId id, const Page& page) {
 Result<PageId> FaultInjectingPageStore::AllocatePage() {
   // Allocation extends the file with a zero page: a write.
   writes_.fetch_add(1, std::memory_order_relaxed);
+  XKS_RETURN_NOT_OK(CrashGate(/*is_sync=*/false));
   bool torn = false;
   XKS_RETURN_NOT_OK(Consult(FaultRule::Op::kWrite, page_count(), &torn));
   return inner_->AllocatePage();
 }
 
-Status FaultInjectingPageStore::Sync() { return inner_->Sync(); }
+Status FaultInjectingPageStore::Truncate(PageId page_count) {
+  // Resizing the file is a durable mutation: same clock, same rules as
+  // a write.
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  XKS_RETURN_NOT_OK(CrashGate(/*is_sync=*/false));
+  bool torn = false;
+  XKS_RETURN_NOT_OK(Consult(FaultRule::Op::kWrite, page_count, &torn));
+  // Shrinking below the synced size destroys durable pages; save them
+  // so SimulateCrash can resurrect exactly the synced state.
+  const PageId inner_count = inner_->page_count();
+  for (PageId id = page_count; id < inner_count; ++id) {
+    RecordUndo(id);
+  }
+  return inner_->Truncate(page_count);
+}
+
+Status FaultInjectingPageStore::Sync() {
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  XKS_RETURN_NOT_OK(CrashGate(/*is_sync=*/true));
+  bool torn = false;
+  XKS_RETURN_NOT_OK(Consult(FaultRule::Op::kSync, page_count(), &torn));
+  XKS_RETURN_NOT_OK(inner_->Sync());
+  // Everything the inner store holds is durable now: new sync epoch.
+  std::lock_guard<std::mutex> lock(mu_);
+  undo_.clear();
+  synced_count_ = inner_->page_count();
+  return Status::OK();
+}
 
 }  // namespace xksearch

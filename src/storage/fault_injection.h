@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -35,7 +36,10 @@ namespace xksearch {
 ///                  concurrency tests deterministically).
 struct FaultRule {
   enum class Kind { kError, kTornWrite, kLatency };
-  enum class Op { kRead, kWrite, kAny };
+  /// kWrite also matches page allocations and truncates (they extend or
+  /// shrink the file: writes). kSync matches fsync barriers. kAny
+  /// matches everything.
+  enum class Op { kRead, kWrite, kSync, kAny };
 
   static constexpr uint64_t kForever = ~uint64_t{0};
 
@@ -54,6 +58,86 @@ struct FaultRule {
   StatusCode code = StatusCode::kIoError;
   std::string message = "injected fault";
   std::chrono::microseconds latency{0};
+};
+
+class FaultInjectingPageStore;
+
+/// \brief Deterministic process-death clock shared by every store of one
+/// simulated process.
+///
+/// Each durable operation — page write, allocation, truncate or fsync —
+/// on any attached FaultInjectingPageStore ticks one global clock, so
+/// "the Nth write of the batch" means the Nth across il, scan, dict and
+/// WAL stores together, in the single-writer order the updater issues
+/// them. When the configured point is reached, the triggering operation
+/// does not reach its inner store and EVERY attached store simulates a
+/// crash at once (unsynced writes rolled back, all later operations
+/// failing with IoError) — one process dies, not one file.
+///
+/// With no crash point configured the schedule just counts: a fault-free
+/// "counting run" of a batch yields operations(), the domain the
+/// crash-point sweep iterates over. The clock ticks regardless of
+/// Arm()/Disarm(), which gate only FaultRules.
+class CrashSchedule {
+ public:
+  /// Crash when the `n`th durable operation (1-based) is attempted.
+  void CrashAtOperation(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crash_at_op_ = n;
+  }
+  /// Crash when the `n`th fsync (1-based) is attempted: the batch's
+  /// barrier discipline is only provable by dying on barriers too.
+  void CrashAtSync(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crash_at_sync_ = n;
+  }
+
+  /// Durable operations observed so far (including the fatal one).
+  uint64_t operations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_;
+  }
+  /// Fsyncs observed so far.
+  uint64_t syncs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return syncs_;
+  }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
+
+ private:
+  friend class FaultInjectingPageStore;
+
+  void Attach(FaultInjectingPageStore* store) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stores_.push_back(store);
+  }
+  /// Advances the clock; true when this operation is the crash point.
+  bool TickOp(bool is_sync) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return false;
+    ++ops_;
+    if (is_sync) ++syncs_;
+    if ((crash_at_op_ != 0 && ops_ == crash_at_op_) ||
+        (crash_at_sync_ != 0 && is_sync && syncs_ == crash_at_sync_)) {
+      crashed_ = true;
+      return true;
+    }
+    return false;
+  }
+  /// Kills every attached store (called outside mu_-holding paths of the
+  /// stores themselves; their SimulateCrash takes their own locks).
+  void CrashAll();
+
+  mutable std::mutex mu_;
+  std::vector<FaultInjectingPageStore*> stores_;
+  uint64_t ops_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t crash_at_op_ = 0;
+  uint64_t crash_at_sync_ = 0;
+  bool crashed_ = false;
 };
 
 /// \brief A PageStore decorator that injects deterministic faults.
@@ -83,10 +167,34 @@ class FaultInjectingPageStore : public PageStore {
   Status WritePage(PageId id, const Page& page) override;
   Result<PageId> AllocatePage() override;
   PageId page_count() const override { return inner_->page_count(); }
+  /// Intercepted like reads and writes: a rule with Op::kSync makes the
+  /// fsync fail (counted in injected_errors), and the crash schedule can
+  /// pick a barrier as its kill point. On a successful forward the
+  /// store's unsynced-write tracking is checkpointed: everything written
+  /// so far would survive a SimulateCrash().
   Status Sync() override;
+  Status Truncate(PageId page_count) override;
   void Prefetch(PageId first, size_t count) override {
+    if (crashed()) return;
     inner_->Prefetch(first, count);
   }
+
+  /// Attaches this store to a shared crash schedule and starts tracking
+  /// unsynced writes (undo images) so SimulateCrash can drop them. The
+  /// current inner contents count as synced.
+  void SetCrashSchedule(std::shared_ptr<CrashSchedule> schedule);
+
+  /// The moment of process death for this store: rolls the inner store
+  /// back to its last-synced state (undo images + truncate to the
+  /// last-synced size) and fails every subsequent operation with
+  /// IoError. Dropping ALL unsynced writes is the adversarial corner of
+  /// the POSIX contract — any durable subset a real kernel might keep is
+  /// at least as easy to recover from, because the WAL's checksummed
+  /// prefix scan never applies a batch whose commit frame is missing.
+  void SimulateCrash();
+
+  /// True once this store has crashed (directly or via its schedule).
+  bool crashed() const { return dead_.load(std::memory_order_acquire); }
 
   /// Adds a rule to the schedule and returns it for chaining-style use.
   void AddRule(FaultRule rule);
@@ -97,6 +205,8 @@ class FaultInjectingPageStore : public PageStore {
   void FailNthRead(uint64_t n, StatusCode code = StatusCode::kIoError);
   /// Fail the Nth write (1-based) across all pages, once.
   void FailNthWrite(uint64_t n, StatusCode code = StatusCode::kIoError);
+  /// Fail the Nth fsync (1-based), once.
+  void FailNthSync(uint64_t n, StatusCode code = StatusCode::kIoError);
   /// Fail every read of `page` for `times` matches (default: forever).
   void FailPageReads(PageId page, uint64_t times = FaultRule::kForever);
   /// Fail each read independently with probability `p` (deterministic in
@@ -121,6 +231,7 @@ class FaultInjectingPageStore : public PageStore {
   /// Total operations observed (armed or not).
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
   /// Operations that returned an injected error (kError or kTornWrite).
   uint64_t injected_errors() const {
     return injected_errors_.load(std::memory_order_relaxed);
@@ -139,16 +250,29 @@ class FaultInjectingPageStore : public PageStore {
   /// report, or OK to proceed; sets `*torn` when a torn write fired.
   Status Consult(FaultRule::Op op, PageId id, bool* torn);
 
+  /// Death check + crash-clock tick for one durable operation; returns
+  /// the IoError to report when the store is (or just became) dead.
+  Status CrashGate(bool is_sync);
+  /// Saves the pre-image of `id` once per sync epoch (only pages the
+  /// last fsync made durable need undo).
+  void RecordUndo(PageId id);
+
   PageStore* inner_;
   std::unique_ptr<PageStore> owned_inner_;
   std::atomic<bool> armed_{false};
+  std::atomic<bool> dead_{false};
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> syncs_{0};
   std::atomic<uint64_t> injected_errors_{0};
 
   std::mutex mu_;
   std::vector<ActiveRule> rules_;  // guarded by mu_
   Rng rng_;                        // guarded by mu_
+  std::shared_ptr<CrashSchedule> crash_;            // guarded by mu_
+  PageId synced_count_ = 0;                         // guarded by mu_
+  std::map<PageId, std::unique_ptr<Page>> undo_;    // guarded by mu_
+  bool track_unsynced_ = false;                     // guarded by mu_
 };
 
 }  // namespace xksearch

@@ -113,6 +113,14 @@ Status FilePageStore::Sync() {
   return Status::OK();
 }
 
+Status FilePageStore::Truncate(PageId page_count) {
+  if (::ftruncate(fd_, PageOffset(page_count)) != 0) {
+    return Errno("truncate failed in", path_);
+  }
+  page_count_.store(page_count, std::memory_order_release);
+  return Status::OK();
+}
+
 void FilePageStore::Prefetch(PageId first, size_t count) {
   const PageId n = page_count();
   if (first >= n || count == 0) return;
@@ -144,6 +152,15 @@ Result<PageId> MemPageStore::AllocatePage() {
   pages_.push_back(std::make_unique<Page>());
   pages_.back()->Zero();
   return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemPageStore::Truncate(PageId page_count) {
+  while (pages_.size() > page_count) pages_.pop_back();
+  while (pages_.size() < page_count) {
+    pages_.push_back(std::make_unique<Page>());
+    pages_.back()->Zero();
+  }
+  return Status::OK();
 }
 
 }  // namespace xksearch

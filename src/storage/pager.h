@@ -30,6 +30,15 @@ class PageStore {
   virtual PageId page_count() const = 0;
   virtual Status Sync() = 0;
 
+  /// Sets the store to exactly `page_count` pages (ftruncate semantics:
+  /// shrinking discards the tail, growing appends zeroed pages). Crash
+  /// recovery uses this to pin a store to the size its committed batch
+  /// recorded; stores that cannot resize report NotSupported.
+  virtual Status Truncate(PageId page_count) {
+    (void)page_count;
+    return Status::NotSupported("this page store cannot be truncated");
+  }
+
   /// Advisory: the caller intends to read `count` pages starting at
   /// `first` soon. File-backed stores forward the hint to the OS page
   /// cache so the reads overlap; default is a no-op.
@@ -62,6 +71,7 @@ class FilePageStore : public PageStore {
     return page_count_.load(std::memory_order_acquire);
   }
   Status Sync() override;
+  Status Truncate(PageId page_count) override;
   void Prefetch(PageId first, size_t count) override;
 
   const std::string& path() const { return path_; }
@@ -91,6 +101,7 @@ class MemPageStore : public PageStore {
     return static_cast<PageId>(pages_.size());
   }
   Status Sync() override { return Status::OK(); }
+  Status Truncate(PageId page_count) override;
 
  private:
   std::vector<std::unique_ptr<Page>> pages_;

@@ -1,0 +1,427 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/bitio.h"
+
+namespace xksearch {
+
+namespace {
+
+// Frame payload types.
+constexpr uint8_t kBeginFrame = 1;
+constexpr uint8_t kPageImageFrame = 2;
+constexpr uint8_t kTruncateFrame = 3;
+constexpr uint8_t kCommitFrame = 4;
+
+// Largest legal payload: a page image plus its addressing, with slack.
+// Anything bigger in a length prefix is a torn or garbage frame.
+constexpr uint32_t kMaxFramePayload = kPageSize + 64;
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+void PutFixed32(uint32_t v, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(v & 0xff);
+  out[1] = static_cast<uint8_t>((v >> 8) & 0xff);
+  out[2] = static_cast<uint8_t>((v >> 16) & 0xff);
+  out[3] = static_cast<uint8_t>((v >> 24) & 0xff);
+}
+
+uint32_t GetFixed32(const uint8_t* in) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+/// Sequential frame reader over the log's pages. Next() returns false at
+/// the end of intact frames — a zero length, an impossible length, a
+/// frame running past the written bytes, or a checksum mismatch, all of
+/// which are the legitimate shapes of a torn tail. Real read errors are
+/// reported through status() instead, so a dying disk is never mistaken
+/// for a clean end of log.
+class FrameScanner {
+ public:
+  explicit FrameScanner(PageStore* store)
+      : store_(store),
+        capacity_(static_cast<uint64_t>(store->page_count()) * kPageSize) {}
+
+  bool Next(std::vector<uint8_t>* payload) {
+    if (!status_.ok()) return false;
+    uint8_t header[kFrameHeaderBytes];
+    if (pos_ + kFrameHeaderBytes > capacity_) return false;
+    if (!ReadBytes(pos_, header, kFrameHeaderBytes)) return false;
+    const uint32_t length = GetFixed32(header);
+    const uint32_t crc = GetFixed32(header + 4);
+    if (length == 0 || length > kMaxFramePayload) return false;
+    if (pos_ + kFrameHeaderBytes + length > capacity_) return false;
+    payload->resize(length);
+    if (!ReadBytes(pos_ + kFrameHeaderBytes, payload->data(), length)) {
+      return false;
+    }
+    if (WalCrc32(payload->data(), payload->size()) != crc) return false;
+    pos_ += kFrameHeaderBytes + length;
+    return true;
+  }
+
+  uint64_t position() const { return pos_; }
+  const Status& status() const { return status_; }
+
+ private:
+  bool ReadBytes(uint64_t off, uint8_t* out, size_t n) {
+    while (n > 0) {
+      const PageId page = static_cast<PageId>(off / kPageSize);
+      const size_t page_off = static_cast<size_t>(off % kPageSize);
+      if (page != cached_) {
+        status_ = store_->ReadPage(page, &cache_);
+        if (!status_.ok()) return false;
+        cached_ = page;
+      }
+      const size_t chunk = std::min(n, kPageSize - page_off);
+      std::memcpy(out, cache_.data.data() + page_off, chunk);
+      off += chunk;
+      out += chunk;
+      n -= chunk;
+    }
+    return true;
+  }
+
+  PageStore* store_;
+  uint64_t capacity_;
+  uint64_t pos_ = 0;
+  Page cache_;
+  PageId cached_ = kInvalidPage;
+  Status status_;
+};
+
+/// One replay operation of a pending (not yet committed) batch.
+struct PendingOp {
+  bool is_truncate = false;
+  uint8_t store_id = 0;
+  PageId page = 0;  // image: page id; truncate: final page count
+  std::unique_ptr<Page> image;
+};
+
+}  // namespace
+
+uint32_t WalCrc32(const uint8_t* data, size_t size) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+WalCounters& WalCounters::Instance() {
+  static WalCounters counters;
+  return counters;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(std::unique_ptr<PageStore> store) {
+  std::unique_ptr<Wal> wal(new Wal(std::move(store)));
+  FrameScanner scanner(wal->store_.get());
+  std::vector<uint8_t> payload;
+  while (scanner.Next(&payload)) {
+  }
+  XKS_RETURN_NOT_OK(scanner.status());
+  wal->length_ = scanner.position();
+  wal->tail_.Zero();
+  if (wal->length_ % kPageSize != 0) {
+    XKS_RETURN_NOT_OK(wal->store_->ReadPage(
+        static_cast<PageId>(wal->length_ / kPageSize), &wal->tail_));
+  }
+  return wal;
+}
+
+Status Wal::WriteTailPage(PageId page) {
+  while (store_->page_count() <= page) {
+    XKS_RETURN_NOT_OK(store_->AllocatePage().status());
+  }
+  return store_->WritePage(page, tail_);
+}
+
+Status Wal::AppendBytes(const uint8_t* data, size_t n) {
+  while (n > 0) {
+    const size_t off = static_cast<size_t>(length_ % kPageSize);
+    const size_t chunk = std::min(n, kPageSize - off);
+    std::memcpy(tail_.data.data() + off, data, chunk);
+    length_ += chunk;
+    data += chunk;
+    n -= chunk;
+    if (length_ % kPageSize == 0) {
+      XKS_RETURN_NOT_OK(
+          WriteTailPage(static_cast<PageId>(length_ / kPageSize - 1)));
+      tail_.Zero();
+    }
+  }
+  return Status::OK();
+}
+
+Status Wal::FlushTail() {
+  if (length_ % kPageSize == 0) return Status::OK();
+  return WriteTailPage(static_cast<PageId>(length_ / kPageSize));
+}
+
+Status Wal::AppendFrame(uint8_t type, const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(type);
+  payload.insert(payload.end(), body.begin(), body.end());
+  uint8_t header[kFrameHeaderBytes];
+  PutFixed32(static_cast<uint32_t>(payload.size()), header);
+  PutFixed32(WalCrc32(payload.data(), payload.size()), header + 4);
+  XKS_RETURN_NOT_OK(AppendBytes(header, kFrameHeaderBytes));
+  return AppendBytes(payload.data(), payload.size());
+}
+
+Status Wal::AppendBegin(uint64_t batch_id) {
+  if (in_batch_) {
+    return Status::InvalidArgument("WAL batch already open");
+  }
+  in_batch_ = true;
+  batch_id_ = batch_id;
+  batch_frames_ = 0;
+  batch_bytes_ = length_;
+  std::vector<uint8_t> body;
+  PutVarint64(&body, batch_id);
+  return AppendFrame(kBeginFrame, body);
+}
+
+Status Wal::AppendPageImage(uint8_t store_id, PageId page, const Page& image) {
+  if (!in_batch_) return Status::InvalidArgument("no open WAL batch");
+  ++batch_frames_;
+  std::vector<uint8_t> body;
+  body.reserve(8 + kPageSize);
+  body.push_back(store_id);
+  PutVarint32(&body, page);
+  body.insert(body.end(), image.data.begin(), image.data.end());
+  return AppendFrame(kPageImageFrame, body);
+}
+
+Status Wal::AppendTruncate(uint8_t store_id, PageId page_count) {
+  if (!in_batch_) return Status::InvalidArgument("no open WAL batch");
+  ++batch_frames_;
+  std::vector<uint8_t> body;
+  body.push_back(store_id);
+  PutVarint32(&body, page_count);
+  return AppendFrame(kTruncateFrame, body);
+}
+
+Status Wal::Commit() {
+  if (!in_batch_) return Status::InvalidArgument("no open WAL batch");
+  std::vector<uint8_t> body;
+  PutVarint64(&body, batch_id_);
+  PutVarint64(&body, batch_frames_);
+  XKS_RETURN_NOT_OK(AppendFrame(kCommitFrame, body));
+  XKS_RETURN_NOT_OK(FlushTail());
+  // The one durability barrier: everything up to and including the
+  // commit frame must be on stable storage before the caller may touch
+  // the target files.
+  XKS_RETURN_NOT_OK(store_->Sync());
+  in_batch_ = false;
+  WalCounters& counters = WalCounters::Instance();
+  counters.commits.fetch_add(1, std::memory_order_relaxed);
+  counters.bytes_committed.fetch_add(length_ - batch_bytes_,
+                                     std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<WalRecoveryStats> Wal::Recover(const StoreResolver& resolve) {
+  WalRecoveryStats stats;
+  FrameScanner scanner(store_.get());
+  std::vector<uint8_t> payload;
+  std::vector<PendingOp> pending;
+  std::vector<PageStore*> touched;
+  bool have_begin = false;
+  uint64_t begin_id = 0;
+
+  while (scanner.Next(&payload)) {
+    const uint8_t type = payload[0];
+    size_t pos = 1;
+    switch (type) {
+      case kBeginFrame: {
+        uint64_t id = 0;
+        if (!GetVarint64(payload.data(), payload.size(), &pos, &id)) {
+          return Status::Corruption("bad WAL begin frame");
+        }
+        pending.clear();
+        have_begin = true;
+        begin_id = id;
+        break;
+      }
+      case kPageImageFrame: {
+        if (!have_begin) {
+          return Status::Corruption("WAL page image outside a batch");
+        }
+        if (pos >= payload.size()) {
+          return Status::Corruption("bad WAL page image frame");
+        }
+        PendingOp op;
+        op.store_id = payload[pos++];
+        uint32_t page = 0;
+        if (!GetVarint32(payload.data(), payload.size(), &pos, &page) ||
+            payload.size() - pos != kPageSize) {
+          return Status::Corruption("bad WAL page image frame");
+        }
+        op.page = page;
+        op.image = std::make_unique<Page>();
+        std::memcpy(op.image->data.data(), payload.data() + pos, kPageSize);
+        pending.push_back(std::move(op));
+        break;
+      }
+      case kTruncateFrame: {
+        if (!have_begin) {
+          return Status::Corruption("WAL truncate outside a batch");
+        }
+        if (pos >= payload.size()) {
+          return Status::Corruption("bad WAL truncate frame");
+        }
+        PendingOp op;
+        op.is_truncate = true;
+        op.store_id = payload[pos++];
+        uint32_t count = 0;
+        if (!GetVarint32(payload.data(), payload.size(), &pos, &count)) {
+          return Status::Corruption("bad WAL truncate frame");
+        }
+        op.page = count;
+        pending.push_back(std::move(op));
+        break;
+      }
+      case kCommitFrame: {
+        uint64_t id = 0;
+        uint64_t frames = 0;
+        if (!GetVarint64(payload.data(), payload.size(), &pos, &id) ||
+            !GetVarint64(payload.data(), payload.size(), &pos, &frames)) {
+          return Status::Corruption("bad WAL commit frame");
+        }
+        if (!have_begin || id != begin_id || frames != pending.size()) {
+          return Status::Corruption("WAL commit does not match its batch");
+        }
+        for (const PendingOp& op : pending) {
+          PageStore* target = resolve(op.store_id);
+          if (target == nullptr) {
+            return Status::Corruption("WAL frame names unknown store " +
+                                      std::to_string(op.store_id));
+          }
+          if (op.is_truncate) {
+            XKS_RETURN_NOT_OK(target->Truncate(op.page));
+          } else {
+            if (op.page >= target->page_count()) {
+              XKS_RETURN_NOT_OK(target->Truncate(op.page + 1));
+            }
+            XKS_RETURN_NOT_OK(target->WritePage(op.page, *op.image));
+          }
+          if (std::find(touched.begin(), touched.end(), target) ==
+              touched.end()) {
+            touched.push_back(target);
+          }
+        }
+        ++stats.batches_applied;
+        stats.frames_applied += pending.size();
+        pending.clear();
+        have_begin = false;
+        break;
+      }
+      default:
+        return Status::Corruption("unknown WAL frame type " +
+                                  std::to_string(type));
+    }
+  }
+  XKS_RETURN_NOT_OK(scanner.status());
+  stats.bytes_scanned = scanner.position();
+
+  // Make the replayed images durable before discarding the log: the
+  // mirror of Commit()'s barrier, in the opposite direction.
+  for (PageStore* store : touched) {
+    XKS_RETURN_NOT_OK(store->Sync());
+  }
+  XKS_RETURN_NOT_OK(Reset());
+  return stats;
+}
+
+Status Wal::Reset() {
+  in_batch_ = false;
+  if (length_ == 0 && store_->page_count() == 0) return Status::OK();
+  XKS_RETURN_NOT_OK(store_->Truncate(0));
+  XKS_RETURN_NOT_OK(store_->Sync());
+  length_ = 0;
+  tail_.Zero();
+  return Status::OK();
+}
+
+Status StagedPageStore::ReadPage(PageId id, Page* out) {
+  if (id >= logical_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " out of range");
+  }
+  auto it = staged_.find(id);
+  if (it != staged_.end()) {
+    *out = *it->second;
+    return Status::OK();
+  }
+  if (id >= inner_visible_) {
+    out->Zero();
+    return Status::OK();
+  }
+  return inner_->ReadPage(id, out);
+}
+
+Status StagedPageStore::WritePage(PageId id, const Page& page) {
+  if (id >= logical_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " out of range");
+  }
+  auto it = staged_.find(id);
+  if (it == staged_.end()) {
+    it = staged_.emplace(id, std::make_unique<Page>()).first;
+  }
+  *it->second = page;
+  return Status::OK();
+}
+
+Result<PageId> StagedPageStore::AllocatePage() {
+  const PageId id = logical_count_++;
+  auto page = std::make_unique<Page>();
+  page->Zero();
+  staged_.emplace(id, std::move(page));
+  return id;
+}
+
+Status StagedPageStore::Truncate(PageId page_count) {
+  if (page_count < logical_count_) {
+    staged_.erase(staged_.lower_bound(page_count), staged_.end());
+    inner_visible_ = std::min(inner_visible_, page_count);
+  } else {
+    for (PageId id = logical_count_; id < page_count; ++id) {
+      auto page = std::make_unique<Page>();
+      page->Zero();
+      staged_.emplace(id, std::move(page));
+    }
+  }
+  logical_count_ = page_count;
+  return Status::OK();
+}
+
+std::vector<PageId> StagedPageStore::StagedPageIds() const {
+  std::vector<PageId> ids;
+  ids.reserve(staged_.size());
+  for (const auto& [id, page] : staged_) ids.push_back(id);
+  return ids;
+}
+
+const Page* StagedPageStore::StagedPage(PageId id) const {
+  auto it = staged_.find(id);
+  return it == staged_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace xksearch

@@ -1,0 +1,165 @@
+#ifndef XKSEARCH_STORAGE_WAL_H_
+#define XKSEARCH_STORAGE_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace xksearch {
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over `size` bytes. The WAL
+/// checksums every frame payload with it; exposed so tests can forge or
+/// verify frames byte-for-byte.
+uint32_t WalCrc32(const uint8_t* data, size_t size);
+
+/// \brief Outcome of one Recover() pass.
+struct WalRecoveryStats {
+  /// Committed batches replayed into their target stores.
+  uint64_t batches_applied = 0;
+  /// Page-image and truncate frames applied across those batches.
+  uint64_t frames_applied = 0;
+  /// Log bytes scanned (up to the first torn or unfinished frame).
+  uint64_t bytes_scanned = 0;
+};
+
+/// \brief Process-wide WAL counters, sampled by the serving layer's
+/// metrics report. Commits are recorded by the Wal itself; recoveries are
+/// recorded by the open paths (DiskIndex/DiskIndexUpdater) so an
+/// ordinary batch apply — which reuses the replay code — is not reported
+/// as a crash recovery.
+struct WalCounters {
+  static WalCounters& Instance();
+
+  std::atomic<uint64_t> recoveries{0};        // opens that replayed a batch
+  std::atomic<uint64_t> batches_replayed{0};
+  std::atomic<uint64_t> bytes_replayed{0};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> bytes_committed{0};
+};
+
+/// \brief Physical-redo write-ahead log over a PageStore.
+///
+/// The log is a byte stream of length-prefixed, checksummed frames laid
+/// over fixed-size pages:
+///
+///   frame := u32 payload_length (LE) | u32 crc32(payload) (LE) | payload
+///   payload := u8 type | body
+///
+/// A batch is `begin, {page-image | truncate}*, commit`. Appends buffer
+/// in the tail page; only Commit() flushes the partial tail and issues
+/// the single fsync barrier, so a batch is durable exactly when its
+/// commit frame is. Recover() scans from the start, stops at the first
+/// frame whose length or checksum does not hold (a torn tail — the
+/// expected shape after a crash), replays every *committed* batch into
+/// its target stores in log order, syncs them, and truncates the log.
+/// Page-image redo is idempotent, so recovering twice — or crashing
+/// during recovery and recovering again — converges to the same state.
+///
+/// Layering over PageStore (rather than a raw fd) is deliberate: the
+/// fault-injection decorator slots under the log unchanged, so crash
+/// schedules count and kill WAL writes and fsyncs with the same
+/// machinery as index stores.
+class Wal {
+ public:
+  /// Resolves a frame's target: store ids are assigned by the writer
+  /// (DiskIndexUpdater uses 0=il, 1=scan, 2=dict). Returning nullptr
+  /// fails recovery with Corruption.
+  using StoreResolver = std::function<PageStore*(uint8_t store_id)>;
+
+  /// Opens a log over `store`, scanning existing content to find the end
+  /// of the last intact frame (appends continue from there).
+  static Result<std::unique_ptr<Wal>> Open(std::unique_ptr<PageStore> store);
+
+  /// Starts a batch.
+  Status AppendBegin(uint64_t batch_id);
+  /// Records the full post-batch image of one page.
+  Status AppendPageImage(uint8_t store_id, PageId page, const Page& image);
+  /// Records the final page count of one store (applied before that
+  /// store's images, so replay sizes the file exactly once).
+  Status AppendTruncate(uint8_t store_id, PageId page_count);
+  /// Appends the commit frame, flushes the tail page and fsyncs: the
+  /// batch is durable iff this returns OK.
+  Status Commit();
+
+  /// Replays every committed batch into the stores `resolve` names,
+  /// syncs each touched store, then resets the log. Batches with no
+  /// commit frame (or behind a torn frame) are discarded untouched.
+  Result<WalRecoveryStats> Recover(const StoreResolver& resolve);
+
+  /// Empties the log (truncate + fsync). No-op when already empty.
+  Status Reset();
+
+  /// Bytes of intact frames currently in the log.
+  uint64_t size_bytes() const { return length_; }
+
+ private:
+  explicit Wal(std::unique_ptr<PageStore> store) : store_(std::move(store)) {}
+
+  Status AppendFrame(uint8_t type, const std::vector<uint8_t>& body);
+  Status AppendBytes(const uint8_t* data, size_t n);
+  Status WriteTailPage(PageId page);
+  Status FlushTail();
+
+  std::unique_ptr<PageStore> store_;
+  uint64_t length_ = 0;  // bytes of intact frames (append position)
+  Page tail_;            // partial tail page being filled
+  uint64_t batch_bytes_ = 0;   // log offset where the open batch began
+  uint64_t batch_frames_ = 0;  // image/truncate frames since AppendBegin
+  uint64_t batch_id_ = 0;
+  bool in_batch_ = false;
+};
+
+/// \brief A PageStore overlay that absorbs every mutation in memory and
+/// never touches the inner store.
+///
+/// DiskIndexUpdater stacks one of these under each buffer pool for the
+/// duration of a batch: reads fall through to the inner store, while
+/// writes, allocations and truncates land in the overlay — including
+/// buffer-pool eviction write-back, which would otherwise leak
+/// half-applied state onto disk mid-batch. At Finish() the staged pages
+/// become the WAL batch; the inner files change only through committed
+/// replay, which is what makes the batch all-or-nothing (and is also why
+/// a concurrently open DiskSearcher keeps seeing the exact pre-batch
+/// snapshot until the batch commits).
+///
+/// Single-writer, like every mutable store in this codebase.
+class StagedPageStore : public PageStore {
+ public:
+  explicit StagedPageStore(PageStore* inner)
+      : inner_(inner),
+        logical_count_(inner->page_count()),
+        inner_visible_(inner->page_count()) {}
+
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Result<PageId> AllocatePage() override;
+  PageId page_count() const override { return logical_count_; }
+  /// Durability is the WAL's job; the overlay never reaches the file.
+  Status Sync() override { return Status::OK(); }
+  Status Truncate(PageId page_count) override;
+
+  /// Staged page ids in increasing order (deterministic WAL layout).
+  std::vector<PageId> StagedPageIds() const;
+  const Page* StagedPage(PageId id) const;
+  size_t staged_count() const { return staged_.size(); }
+  PageStore* inner() const { return inner_; }
+
+ private:
+  PageStore* inner_;
+  PageId logical_count_;
+  /// Inner pages above this id are dead (truncated away this batch);
+  /// reads of unstaged pages beyond it see zeros.
+  PageId inner_visible_;
+  std::map<PageId, std::unique_ptr<Page>> staged_;
+};
+
+}  // namespace xksearch
+
+#endif  // XKSEARCH_STORAGE_WAL_H_

@@ -92,6 +92,28 @@ TEST(DifferentialFuzz, ShardedParityIncludingFaults) {
   EXPECT_GE(report.cases, 1000u);
 }
 
+// Crash-recovery rounds: each collection's index is rebuilt file-backed,
+// takes a seeded update batch killed at a seeded durable operation, and
+// must reopen (WAL replay) as exactly the pre- or exactly the post-batch
+// posting state — never a hybrid — with query parity against the
+// matching side. This randomizes what the exhaustive sweep in
+// crash_recovery_test.cc pins down: index shape, batch composition and
+// kill point all come from the seed.
+TEST(DifferentialFuzz, CrashRecoveryRoundsLandOnBatchBoundaries) {
+  FuzzOptions options;
+  options.crash_rounds = 2;
+  // The crash rounds are the point; skip the orthogonal stages.
+  options.queries_per_collection = 1;
+  options.shard_counts.clear();
+  options.chunk_counts.clear();
+  const FuzzReport report = RunFuzz(200'000, CasesFromEnv(25), options);
+  ExpectClean(report);
+  // Both batch-boundary outcomes must occur across the rounds, or the
+  // kill points only ever sampled one side of the commit barrier.
+  EXPECT_GT(report.crash_landed_pre, 0u);
+  EXPECT_GT(report.crash_landed_post, 0u);
+}
+
 // In-memory-only sweep is cheap, so it can afford many more shapes.
 TEST(DifferentialFuzz, InMemoryOnlySweep) {
   FuzzOptions options;

@@ -1,5 +1,8 @@
+#include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
 
 #include "common/rng.h"
 #include "engine/disk_searcher.h"
@@ -8,6 +11,7 @@
 #include "index/inverted_index.h"
 #include "slca/brute_force.h"
 #include "storage/disk_index.h"
+#include "storage/fault_injection.h"
 #include "test_util.h"
 #include "xml/parser.h"
 
@@ -34,7 +38,7 @@ class DiskIndexUpdaterTest : public ::testing::Test {
   }
 
   void TearDown() override {
-    for (const char* suffix : {".il", ".scan", ".dict"}) {
+    for (const char* suffix : {".il", ".scan", ".dict", ".wal"}) {
       std::remove((prefix_ + suffix).c_str());
     }
   }
@@ -203,9 +207,146 @@ TEST_F(DiskIndexUpdaterTest, UpdatedIndexAnswersQueriesCorrectly) {
   // The Robotics project (0.2.0) now contains both names: a 4th answer.
   EXPECT_EQ(Strings(result->nodes),
             (std::vector<std::string>{"0.0.0", "0.0.1", "0.1.0.1", "0.2.0"}));
-  for (const char* suffix : {".il", ".scan", ".dict"}) {
+  for (const char* suffix : {".il", ".scan", ".dict", ".wal"}) {
     std::remove((prefix + suffix).c_str());
   }
+}
+
+TEST_F(DiskIndexUpdaterTest, ReadersKeepPreBatchSnapshotDuringUpdate) {
+  // A DiskSearcher opened before the batch must answer from the
+  // pre-batch index for as long as the batch is in flight: the updater
+  // stages every write (including buffer-pool eviction write-back) in
+  // its StagedPageStore overlays, so the inner files only change at the
+  // commit point. Readers hammer queries from two threads while the
+  // main thread pushes a long batch through the updater; any divergence
+  // from the pre-batch answer is a broken snapshot. Readers that should
+  // outlive the commit must reopen — same contract as any index swap —
+  // so they are stopped before Finish().
+  std::vector<std::vector<DeweyId>> pre_lists = {
+      source_.Materialize("apple"), source_.Materialize("banana")};
+  const std::vector<std::string> expected_pre =
+      Strings(BruteForceSlca(pre_lists));
+  Result<std::unique_ptr<DiskSearcher>> searcher = DiskSearcher::Open(prefix_);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+
+  // Quiesced baseline: no updater exists yet, so this run's algorithm
+  // work (the paper's lm/rm match operations) is the reference every
+  // mid-batch read must reproduce — the batch may only change WHERE a
+  // match is answered from, never how many matches a snapshot query asks.
+  Result<SearchResult> quiesced = (*searcher)->Search({"apple", "banana"});
+  XKS_ASSERT_OK(quiesced.status());
+  ASSERT_EQ(Strings(quiesced->nodes), expected_pre);
+  const uint64_t quiesced_match_ops = quiesced->stats.match_ops.load();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<bool> diverged{false};
+  auto read_loop = [&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Result<SearchResult> result = (*searcher)->Search({"apple", "banana"});
+      if (!result.ok() || Strings(result->nodes) != expected_pre ||
+          result->stats.match_ops.load() != quiesced_match_ops) {
+        diverged.store(true, std::memory_order_release);
+      }
+      queries.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread reader_a(read_loop);
+  std::thread reader_b(read_loop);
+
+  Result<std::unique_ptr<DiskIndexUpdater>> updater =
+      DiskIndexUpdater::Open(prefix_);
+  ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+  XKS_ASSERT_OK((*updater)->RemovePosting("apple", Id("0.0.1")));
+  XKS_ASSERT_OK((*updater)->AddPosting("apple", Id("0.1.0")));
+  XKS_ASSERT_OK((*updater)->AddPosting("banana", Id("0.3.1")));
+  Rng rng(77);
+  for (int i = 0; i < 400; ++i) {
+    const DeweyId id({0, static_cast<uint32_t>(rng.Uniform(8)),
+                      static_cast<uint32_t>(rng.Uniform(8)),
+                      static_cast<uint32_t>(rng.Uniform(8))});
+    XKS_ASSERT_OK((*updater)->AddPosting("padding", id));
+  }
+  stop.store(true, std::memory_order_release);
+  reader_a.join();
+  reader_b.join();
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_FALSE(diverged.load()) << "a concurrent reader saw mid-batch state";
+
+  XKS_ASSERT_OK((*updater)->Finish());
+  EXPECT_EQ(Strings(Postings("apple")),
+            (std::vector<std::string>{"0.1.0", "0.2.0"}));
+  EXPECT_EQ(Postings("banana").size(), 3u);
+  EXPECT_EQ(Postings("padding").size(), (*updater)->Frequency("padding"));
+}
+
+TEST_F(DiskIndexUpdaterTest, LegacyPathWithoutWalWritesInPlace) {
+  auto exists = [](const std::string& path) {
+    return std::ifstream(path).good();
+  };
+  {
+    // Default (WAL) mode stages the batch behind <prefix>.wal; the log
+    // file survives Finish (reset to empty, ready for the next batch).
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(prefix_);
+    ASSERT_TRUE(updater.ok());
+    XKS_ASSERT_OK((*updater)->AddPosting("apple", Id("0.1.5")));
+    XKS_ASSERT_OK((*updater)->Finish());
+  }
+  EXPECT_TRUE(exists(prefix_ + ".wal"));
+  std::remove((prefix_ + ".wal").c_str());
+  {
+    // use_wal=false is the legacy in-place path: no log file, same
+    // results, no crash-atomicity guarantee.
+    DiskIndexOptions options;
+    options.use_wal = false;
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(prefix_, options);
+    ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+    XKS_ASSERT_OK((*updater)->AddPosting("apple", Id("0.3")));
+    EXPECT_EQ((*updater)->recovered_batches(), 0u);
+    XKS_ASSERT_OK((*updater)->Finish());
+  }
+  EXPECT_FALSE(exists(prefix_ + ".wal"));
+  EXPECT_EQ(Strings(Postings("apple")),
+            (std::vector<std::string>{"0.0.1", "0.1.5", "0.2.0", "0.3"}));
+}
+
+TEST_F(DiskIndexUpdaterTest, CommittedBatchSurvivesApplyFailure) {
+  // Kill the il store on its first write AFTER the commit fsync: the
+  // batch is durable in the WAL but the apply pass dies. Finish reports
+  // the error; the next updater Open replays the committed batch and
+  // reports it through recovered_batches().
+  {
+    DiskIndexOptions options;
+    options.store_decorator = [](std::unique_ptr<PageStore> store,
+                                 std::string_view name) -> std::unique_ptr<PageStore> {
+      if (name != "il") return store;
+      auto wrapped =
+          std::make_unique<FaultInjectingPageStore>(std::move(store), 1);
+      // In WAL mode the inner il store is only written during the apply
+      // pass (all earlier writes land in the overlay), so "first write"
+      // = first post-commit apply operation.
+      wrapped->FailNthWrite(1);
+      wrapped->Arm();
+      return wrapped;
+    };
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(prefix_, options);
+    ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+    XKS_ASSERT_OK((*updater)->AddPosting("apple", Id("0.4.2")));
+    XKS_ASSERT_OK((*updater)->RemovePosting("banana", Id("0.1")));
+    EXPECT_TRUE((*updater)->Finish().IsIoError());
+  }
+  {
+    Result<std::unique_ptr<DiskIndexUpdater>> updater =
+        DiskIndexUpdater::Open(prefix_);
+    ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+    EXPECT_EQ((*updater)->recovered_batches(), 1u);
+  }
+  EXPECT_EQ(Strings(Postings("apple")),
+            (std::vector<std::string>{"0.0.1", "0.2.0", "0.4.2"}));
+  EXPECT_EQ(Strings(Postings("banana")), (std::vector<std::string>{"0.2.1"}));
 }
 
 TEST_F(DiskIndexUpdaterTest, InMemoryRejected) {

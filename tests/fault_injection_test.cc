@@ -126,6 +126,115 @@ TEST_F(FaultStoreTest, LatencyRuleDelaysButSucceeds) {
   EXPECT_EQ(store.injected_errors(), 0u);
 }
 
+TEST_F(FaultStoreTest, FailNthSyncFiresAndCountsInInjectedStats) {
+  FaultInjectingPageStore store(&mem_);
+  store.FailNthSync(1);
+  store.Arm();
+  const Status failed = store.Sync();
+  EXPECT_TRUE(failed.IsIoError()) << failed.ToString();
+  EXPECT_EQ(store.injected_errors(), 1u);
+  EXPECT_EQ(store.syncs(), 1u);
+  // Transient: the retry reaches the inner store.
+  XKS_EXPECT_OK(store.Sync());
+  EXPECT_EQ(store.syncs(), 2u);
+  EXPECT_EQ(store.injected_errors(), 1u);
+}
+
+TEST_F(FaultStoreTest, SimulateCrashDropsUnsyncedWritesOnly) {
+  FaultInjectingPageStore store(&mem_);
+  // Attaching a schedule (even one with no kill point) starts the
+  // unsynced-write tracking SimulateCrash rolls back with.
+  store.SetCrashSchedule(std::make_shared<CrashSchedule>());
+  Page page;
+  page.Zero();
+  for (size_t i = 0; i < kPageSize; ++i) page.data[i] = 0xAA;
+  XKS_ASSERT_OK(store.WritePage(0, page));
+  XKS_ASSERT_OK(store.Sync());  // page 0 is now durable
+  for (size_t i = 0; i < kPageSize; ++i) page.data[i] = 0xBB;
+  XKS_ASSERT_OK(store.WritePage(1, page));       // unsynced overwrite
+  Result<PageId> grown = store.AllocatePage();   // unsynced growth
+  XKS_ASSERT_OK(grown.status());
+  XKS_ASSERT_OK(store.WritePage(*grown, page));
+
+  store.SimulateCrash();
+  EXPECT_TRUE(store.crashed());
+  // The dead store fails everything...
+  EXPECT_TRUE(store.ReadPage(0, &page).IsIoError());
+  EXPECT_TRUE(store.WritePage(0, page).IsIoError());
+  EXPECT_TRUE(store.Sync().IsIoError());
+  // ...and the inner store kept exactly the synced state: page 0's
+  // bytes, page 1 rolled back to zeros, the allocation truncated away.
+  EXPECT_EQ(mem_.page_count(), 8u);
+  XKS_ASSERT_OK(mem_.ReadPage(0, &page));
+  EXPECT_EQ(page.data[0], 0xAA);
+  EXPECT_EQ(page.data[kPageSize - 1], 0xAA);
+  XKS_ASSERT_OK(mem_.ReadPage(1, &page));
+  EXPECT_EQ(page.data[0], 0x00);
+  EXPECT_EQ(page.data[kPageSize - 1], 0x00);
+}
+
+TEST_F(FaultStoreTest, CrashScheduleSharedClockKillsEveryStore) {
+  // One schedule, two stores = one simulated process over two files.
+  MemPageStore other;
+  for (int i = 0; i < 4; ++i) XKS_ASSERT_OK(other.AllocatePage().status());
+  FaultInjectingPageStore store_a(&mem_);
+  FaultInjectingPageStore store_b(&other);
+  auto schedule = std::make_shared<CrashSchedule>();
+  store_a.SetCrashSchedule(schedule);
+  store_b.SetCrashSchedule(schedule);
+  schedule->CrashAtOperation(3);
+
+  Page page;
+  page.Zero();
+  XKS_ASSERT_OK(store_a.WritePage(0, page));  // op 1
+  XKS_ASSERT_OK(store_b.WritePage(0, page));  // op 2
+  const Status fatal = store_a.WritePage(1, page);  // op 3: the kill point
+  EXPECT_TRUE(fatal.IsIoError()) << fatal.ToString();
+  EXPECT_TRUE(schedule->crashed());
+  EXPECT_EQ(schedule->operations(), 3u);
+  // The OTHER store died with the process, not just the triggering one.
+  EXPECT_TRUE(store_a.crashed());
+  EXPECT_TRUE(store_b.crashed());
+  EXPECT_TRUE(store_b.WritePage(1, page).IsIoError());
+}
+
+TEST_F(FaultStoreTest, CrashClockTicksDurableOperationsNotReads) {
+  FaultInjectingPageStore store(&mem_);
+  auto schedule = std::make_shared<CrashSchedule>();
+  store.SetCrashSchedule(schedule);
+  Page page;
+  XKS_ASSERT_OK(store.ReadPage(0, &page));
+  XKS_ASSERT_OK(store.ReadPage(1, &page));
+  EXPECT_EQ(schedule->operations(), 0u);  // reads are not durable ops
+  page.Zero();
+  XKS_ASSERT_OK(store.WritePage(0, page));
+  XKS_ASSERT_OK(store.AllocatePage().status());
+  XKS_ASSERT_OK(store.Truncate(8));
+  XKS_ASSERT_OK(store.Sync());
+  EXPECT_EQ(schedule->operations(), 4u);  // write + alloc + truncate + sync
+  EXPECT_EQ(schedule->syncs(), 1u);
+}
+
+TEST_F(FaultStoreTest, CrashOnSyncBarrierKeepsPriorBarrierState) {
+  FaultInjectingPageStore store(&mem_);
+  auto schedule = std::make_shared<CrashSchedule>();
+  store.SetCrashSchedule(schedule);
+  schedule->CrashAtSync(2);
+  Page page;
+  page.Zero();
+  for (size_t i = 0; i < kPageSize; ++i) page.data[i] = 0x11;
+  XKS_ASSERT_OK(store.WritePage(0, page));
+  XKS_ASSERT_OK(store.Sync());  // barrier 1 completes
+  for (size_t i = 0; i < kPageSize; ++i) page.data[i] = 0x22;
+  XKS_ASSERT_OK(store.WritePage(0, page));
+  // Dying ON the barrier: the fsync does not complete, so the write it
+  // was meant to make durable is lost.
+  EXPECT_TRUE(store.Sync().IsIoError());
+  EXPECT_TRUE(store.crashed());
+  XKS_ASSERT_OK(mem_.ReadPage(0, &page));
+  EXPECT_EQ(page.data[0], 0x11);
+}
+
 // ---------------------------------------------------------------------
 // Buffer pool under faults.
 // ---------------------------------------------------------------------

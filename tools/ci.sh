@@ -45,6 +45,11 @@ if [ "$run_slow" -eq 1 ]; then
   # stitcher, chunk planning and the engine wiring as one visible line.
   echo "==> [parallel-slca] chunked intra-query stage (release build)"
   ctest --test-dir build/release -R 'ParallelSlca' --output-on-failure
+  # Crash consistency: the WAL frame/recovery suites plus the exhaustive
+  # crash-point sweep (fast scale; the scale-3 run rides in -L slow).
+  echo "==> [crash-recovery] WAL + crash-point sweep stage (release build)"
+  ctest --test-dir build/release -R '(Wal|StagedStore|CrashRecovery)' \
+    --output-on-failure
   echo "==> [slow] long-run fuzz/stress stage (ctest -L slow, release build)"
   ctest --test-dir build/release -L slow --output-on-failure
   echo "==> [bench-smoke] benchmark smoke stage (ctest -L bench-smoke)"

@@ -35,12 +35,18 @@ void Usage() {
                "               [--faults | --no-faults] [--no-disk]\n"
                "               [--shards=N | --no-shards]\n"
                "               [--threads=N | --no-chunks]\n"
+               "               [--crashes=N]\n"
                "  --shards=N   check only shard count N (default: 1,2,4,7)\n"
                "  --no-shards  skip the sharded-collection checks\n"
                "  --threads=N  chunk-pool workers for the intra-query\n"
                "               parallel-SLCA parity checks (default: 3);\n"
                "               chunk counts checked stay 1,2,3,8\n"
-               "  --no-chunks  skip the chunked parallel-SLCA checks\n");
+               "  --no-chunks  skip the chunked parallel-SLCA checks\n"
+               "  --crashes=N  crash-recovery rounds per collection: a\n"
+               "               file-backed copy of the index takes a seeded\n"
+               "               update batch killed at a seeded durable\n"
+               "               operation; the reopened index must be exactly\n"
+               "               the pre- or post-batch state (default: 0)\n");
 }
 
 }  // namespace
@@ -77,6 +83,9 @@ int main(int argc, char** argv) {
       if (options.chunk_workers == 0) options.chunk_counts.clear();
     } else if (std::strcmp(arg, "--no-chunks") == 0) {
       options.chunk_counts.clear();
+    } else if (std::strncmp(arg, "--crashes=", 10) == 0) {
+      options.crash_rounds =
+          static_cast<size_t>(ParseFlag(arg, "--crashes", 0));
     } else {
       Usage();
       return 2;
@@ -94,14 +103,15 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "xk_fuzz: %llu collections from seed %llu (disk=%s faults=%s "
-      "shards=%s chunk-threads=%s)\n",
+      "shards=%s chunk-threads=%s crashes=%zu)\n",
       static_cast<unsigned long long>(cases),
       static_cast<unsigned long long>(seed),
       options.with_disk ? "on" : "off", options.with_faults ? "on" : "off",
       shards.c_str(),
       options.chunk_counts.empty() ? "off"
                                    : std::to_string(options.chunk_workers)
-                                         .c_str());
+                                         .c_str(),
+      options.crash_rounds);
 
   xksearch::fuzz::FuzzReport total;
   const uint64_t report_every = cases >= 10 ? cases / 10 : 1;
@@ -129,11 +139,16 @@ int main(int argc, char** argv) {
 
   std::printf("xk_fuzz: %llu collections, %llu differential checks, "
               "%llu clean fault errors, %llu fault survivals, "
+              "%llu crash recoveries (pre=%llu post=%llu), "
               "%zu divergences\n",
               static_cast<unsigned long long>(total.collections),
               static_cast<unsigned long long>(total.cases),
               static_cast<unsigned long long>(total.clean_fault_errors),
               static_cast<unsigned long long>(total.fault_survivals),
+              static_cast<unsigned long long>(total.crash_landed_pre +
+                                              total.crash_landed_post),
+              static_cast<unsigned long long>(total.crash_landed_pre),
+              static_cast<unsigned long long>(total.crash_landed_post),
               total.divergences.size());
   return total.ok() ? 0 : 1;
 }
