@@ -1,0 +1,282 @@
+// Batch decode-kernel sweep (Ablation X13): throughput of the
+// block-at-a-time posting decoders against the legacy entry-at-a-time
+// DeltaBlockDecoder, over the identical delta-encoded wire bytes, plus a
+// hot-list-cache on/off sweep over a planted engine query.
+//
+// Two sections:
+//
+//   decode  one delta stream of N sorted Dewey ids, decoded end to end:
+//           the `legacy` row is DeltaBlockDecoder::Next per entry; each
+//           kernel row is DecodeBlockWith in 256-entry batches with the
+//           carry chained across calls (exactly the blocked cursors'
+//           access pattern). MB/s is wire bytes consumed per second.
+//
+//   hot     a closed-loop two-keyword query against an in-memory engine,
+//           with the serving layer's decoded hot-list cache off and on.
+//           The "on" rows serve both posting lists as pinned decoded
+//           vectors after admission — the per-query decode disappears.
+//
+// Standalone binary (like bench_parallel_query), not a google-benchmark
+// harness. Prints a table plus one JSON line per configuration for
+// tools/bench_to_csv.py.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dewey/codec.h"
+#include "dewey/decode_kernels.h"
+#include "engine/xksearch.h"
+#include "gen/dblp_generator.h"
+#include "serve/hot_list_cache.h"
+
+namespace xksearch {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  std::vector<size_t> entries = {10'000, 100'000};
+  size_t duration_ms = 300;
+  size_t papers = 20'000;
+  uint64_t hot_frequency = 0;  // 0 = papers / 2
+  bool with_hot = true;
+};
+
+std::vector<DeweyId> RandomSortedIds(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<DeweyId> ids;
+  ids.reserve(n + n / 4);
+  while (ids.size() < n + n / 4) {
+    std::vector<uint32_t> components;
+    components.push_back(0);
+    const size_t depth = 2 + static_cast<size_t>(rng.UniformInt(0, 8));
+    for (size_t d = 1; d < depth; ++d) {
+      // Mostly single-byte varints with a multi-byte tail mixed in —
+      // the shape real document trees produce.
+      const bool wide = rng.UniformInt(0, 9) == 0;
+      components.push_back(static_cast<uint32_t>(
+          rng.UniformInt(0, wide ? 100'000 : 120)));
+    }
+    ids.emplace_back(std::move(components));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.size() > n) ids.resize(n);
+  return ids;
+}
+
+std::vector<uint8_t> EncodeStream(const std::vector<DeweyId>& ids) {
+  DeltaBlockEncoder encoder;
+  for (const DeweyId& id : ids) encoder.Append(id);
+  return encoder.Finish();
+}
+
+struct DecodeResult {
+  double mb_per_s = 0;
+  double mentries_per_s = 0;
+  uint64_t passes = 0;
+  uint64_t checksum = 0;  // defeats dead-code elimination
+};
+
+/// Repeats `decode_pass` (one full decode of the stream, returning a
+/// checksum) until the time budget elapses.
+template <typename Pass>
+DecodeResult Measure(const Config& config, size_t bytes, size_t entries,
+                     Pass decode_pass) {
+  DecodeResult out;
+  out.checksum = decode_pass();  // warmup
+  const Clock::time_point start = Clock::now();
+  const Clock::duration budget = std::chrono::milliseconds(config.duration_ms);
+  Clock::time_point now;
+  do {
+    out.checksum ^= decode_pass();
+    ++out.passes;
+    now = Clock::now();
+  } while (now - start < budget);
+  const double seconds = std::chrono::duration<double>(now - start).count();
+  const double total_bytes =
+      static_cast<double>(bytes) * static_cast<double>(out.passes);
+  const double total_entries =
+      static_cast<double>(entries) * static_cast<double>(out.passes);
+  out.mb_per_s = total_bytes / seconds / 1e6;
+  out.mentries_per_s = total_entries / seconds / 1e6;
+  return out;
+}
+
+void RunDecodeSection(const Config& config) {
+  std::printf("%8s %8s %10s %12s %12s\n", "entries", "kernel", "wire_kb",
+              "MB/s", "Mentries/s");
+  for (const size_t n : config.entries) {
+    const std::vector<DeweyId> ids = RandomSortedIds(42 + n, n);
+    const std::vector<uint8_t> bytes = EncodeStream(ids);
+
+    auto emit = [&](const char* kernel, const DecodeResult& r) {
+      std::printf("%8zu %8s %10.1f %12.1f %12.2f\n", ids.size(), kernel,
+                  static_cast<double>(bytes.size()) / 1e3, r.mb_per_s,
+                  r.mentries_per_s);
+      std::printf(
+          "{\"bench\":\"decode_kernels\",\"section\":\"decode\","
+          "\"entries\":%zu,\"kernel\":\"%s\",\"wire_bytes\":%zu,"
+          "\"mb_per_s\":%.2f,\"mentries_per_s\":%.3f,\"passes\":%" PRIu64
+          "}\n",
+          ids.size(), kernel, bytes.size(), r.mb_per_s, r.mentries_per_s,
+          r.passes);
+      std::fflush(stdout);
+    };
+
+    // Legacy reference: the entry-at-a-time decoder the kernels replace.
+    emit("legacy", Measure(config, bytes.size(), ids.size(), [&] {
+           DeltaBlockDecoder decoder(bytes);
+           DeweyId id;
+           uint64_t sum = 0;
+           while (decoder.Next(&id)) sum += id.depth();
+           if (!decoder.status().ok()) std::abort();
+           return sum;
+         }));
+
+    for (const DecodeKernel kernel : AvailableDecodeKernels()) {
+      constexpr size_t kBatch = 256;
+      DecodedBlock block;
+      std::vector<uint32_t> carry;
+      emit(DecodeKernelName(kernel),
+           Measure(config, bytes.size(), ids.size(), [&] {
+             uint64_t sum = 0;
+             size_t pos = 0;
+             carry.clear();
+             while (pos < bytes.size()) {
+               block.Clear();
+               const Status status = DecodeBlockWith(
+                   kernel, bytes.data(), bytes.size(), &pos, kBatch,
+                   carry.empty() ? nullptr : carry.data(), carry.size(),
+                   &block);
+               if (!status.ok() || block.empty()) std::abort();
+               for (size_t i = 0; i < block.count(); ++i) {
+                 sum += block.entry(i).depth();
+               }
+               carry.assign(block.last_data(),
+                            block.last_data() + block.last_len());
+             }
+             return sum;
+           }));
+    }
+  }
+}
+
+void RunHotSection(const Config& config) {
+  DblpOptions gen;
+  gen.papers = config.papers;
+  gen.seed = 7;
+  const uint64_t freq = config.hot_frequency > 0
+                            ? config.hot_frequency
+                            : static_cast<uint64_t>(config.papers / 2);
+  gen.plants = {{"hotterm", freq}, {"rareterm", freq / 50 + 1}};
+  Result<Document> doc = GenerateDblp(gen);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "gen: %s\n", doc.status().ToString().c_str());
+    std::exit(1);
+  }
+  Result<std::unique_ptr<XKSearch>> system =
+      XKSearch::BuildFromDocument(std::move(*doc));
+  if (!system.ok()) {
+    std::fprintf(stderr, "build: %s\n", system.status().ToString().c_str());
+    std::exit(1);
+  }
+  const std::vector<std::string> query = {"rareterm", "hotterm"};
+
+  std::printf("%8s %10s %10s %10s\n", "hot", "avg_us", "qps", "results");
+  double base_us = 0;
+  for (const bool hot : {false, true}) {
+    serve::HotListCache::Options cache_options;
+    cache_options.max_bytes = size_t{256} << 20;
+    cache_options.admit_after = 1;
+    serve::HotListCache cache(cache_options);
+    SearchOptions options;
+    options.algorithm = AlgorithmChoice::kScanEager;  // S1 scans both lists
+    if (hot) options.hot_lists = &cache;
+
+    uint64_t queries = 0;
+    uint64_t results = 0;
+    for (int warm = 0; warm < 3; ++warm) {
+      if (!(*system)->Search(query, options).ok()) std::abort();
+    }
+    const Clock::time_point start = Clock::now();
+    const Clock::duration budget =
+        std::chrono::milliseconds(config.duration_ms);
+    Clock::time_point now;
+    do {
+      const Result<SearchResult> r = (*system)->Search(query, options);
+      if (!r.ok()) std::abort();
+      results = r->nodes.size();
+      ++queries;
+      now = Clock::now();
+    } while (now - start < budget);
+    const double seconds = std::chrono::duration<double>(now - start).count();
+    const double avg_us = seconds * 1e6 / static_cast<double>(queries);
+    const double qps = static_cast<double>(queries) / seconds;
+    if (base_us == 0) base_us = avg_us;
+    std::printf("%8s %10.1f %10.1f %10" PRIu64 "\n", hot ? "on" : "off",
+                avg_us, qps, results);
+    std::printf(
+        "{\"bench\":\"decode_kernels\",\"section\":\"hot_list\","
+        "\"hot\":%d,\"frequency\":%" PRIu64 ",\"avg_us\":%.2f,\"qps\":%.1f,"
+        "\"speedup\":%.3f,\"queries\":%" PRIu64 ",\"results\":%" PRIu64
+        "}\n",
+        hot ? 1 : 0, freq, avg_us, qps, avg_us > 0 ? base_us / avg_us : 0,
+        queries, results);
+    std::fflush(stdout);
+  }
+}
+
+std::vector<size_t> ParseList(const char* text) {
+  std::vector<size_t> out;
+  for (const char* p = text; *p != '\0';) {
+    out.push_back(static_cast<size_t>(std::strtoull(p, nullptr, 10)));
+    p = std::strchr(p, ',');
+    if (p == nullptr) break;
+    ++p;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace xksearch
+
+int main(int argc, char** argv) {
+  xksearch::Config config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [arg](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value("--entries=")) {
+      config.entries = xksearch::ParseList(v);
+    } else if (const char* v = value("--duration-ms=")) {
+      config.duration_ms = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--papers=")) {
+      config.papers = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--frequency=")) {
+      config.hot_frequency = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--no-hot") == 0) {
+      config.with_hot = false;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nflags: --entries=l --duration-ms= "
+                   "--papers= --frequency= --no-hot\n",
+                   arg);
+      return 2;
+    }
+  }
+  std::fprintf(stderr, "active kernel: %s\n",
+               xksearch::DecodeKernelName(xksearch::ActiveDecodeKernel()));
+  xksearch::RunDecodeSection(config);
+  if (config.with_hot) xksearch::RunHotSection(config);
+  return 0;
+}

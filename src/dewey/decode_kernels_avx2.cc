@@ -1,0 +1,62 @@
+// AVX2 batch varint widener. Compiled with -mavx2 only on x86 toolchains
+// that accept the flag (see src/dewey/CMakeLists.txt); the dispatcher
+// never calls in here unless cpuid reports avx2.
+
+#include "dewey/decode_kernels_impl.h"
+
+#if defined(XKS_DECODE_AVX2_TU)
+
+#include <immintrin.h>
+
+namespace xksearch {
+namespace {
+
+struct Avx2Kernel {
+  static size_t BulkSingles(const uint8_t* p, size_t n, uint32_t* dst,
+                            size_t want) {
+    const size_t lim = want < n ? want : n;
+    size_t i = 0;
+    while (i + 32 <= lim) {
+      const __m256i bytes =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+      const uint32_t mask =
+          static_cast<uint32_t>(_mm256_movemask_epi8(bytes));
+      if (mask == 0) {
+        const __m128i lo = _mm256_castsi256_si128(bytes);
+        const __m128i hi = _mm256_extracti128_si256(bytes, 1);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm256_cvtepu8_epi32(lo));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 8),
+                            _mm256_cvtepu8_epi32(_mm_srli_si128(lo, 8)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 16),
+                            _mm256_cvtepu8_epi32(hi));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 24),
+                            _mm256_cvtepu8_epi32(_mm_srli_si128(hi, 8)));
+        i += 32;
+        continue;
+      }
+      const size_t run = static_cast<size_t>(__builtin_ctz(mask));
+      for (size_t j = 0; j < run; ++j) dst[i + j] = p[i + j];
+      return i + run;  // hit a multi-byte lead; caller takes over
+    }
+    while (i < lim && p[i] < 0x80) {
+      dst[i] = p[i];
+      ++i;
+    }
+    return i;
+  }
+};
+
+}  // namespace
+
+Status DecodeBlockAvx2(const uint8_t* data, size_t size, size_t* pos,
+                       size_t max_entries, const uint32_t* carry,
+                       size_t carry_len, DecodedBlock* out) {
+  return decode_detail::DecodeBlockLoop<Avx2Kernel>(data, size, pos,
+                                                    max_entries, carry,
+                                                    carry_len, out);
+}
+
+}  // namespace xksearch
+
+#endif  // XKS_DECODE_AVX2_TU

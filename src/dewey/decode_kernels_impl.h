@@ -1,0 +1,100 @@
+// Shared outer loop for the batch decode kernels. Each kernel TU
+// instantiates DecodeBlockLoop<K> with a policy struct whose only hook is
+//
+//   static size_t BulkSingles(const uint8_t* p, size_t n,
+//                             uint32_t* dst, size_t want);
+//
+// decoding the leading run of single-byte varints (bytes < 0x80) from
+// p[0..n), at most `want` of them, into dst — the part worth vectorizing.
+// Headers, multi-byte components and every corruption check live here so
+// all kernels share one (checked) control path and produce bit-identical
+// arenas and errors.
+
+#ifndef XKSEARCH_DEWEY_DECODE_KERNELS_IMPL_H_
+#define XKSEARCH_DEWEY_DECODE_KERNELS_IMPL_H_
+
+#include "common/bitio.h"
+#include "dewey/decode_kernels.h"
+
+namespace xksearch {
+namespace decode_detail {
+
+/// A shared-prefix run longer than this is treated as corruption (real
+/// Dewey depths are tiny; a multi-megabyte `added` from a flipped bit
+/// must not drive a giant allocation before the truncation check fires).
+inline constexpr uint32_t kMaxComponentsPerEntry = 1u << 16;
+
+template <typename Kernel>
+Status DecodeBlockLoop(const uint8_t* data, size_t size, size_t* pos,
+                       size_t max_entries, const uint32_t* carry,
+                       size_t carry_len, DecodedBlock* out) {
+  std::vector<uint32_t>& comps = out->components;
+  std::vector<uint32_t>& offsets = out->offsets;
+  if (offsets.empty()) offsets.push_back(0);
+
+  // Previous entry for prefix expansion: `carry` for the first decoded
+  // entry, then the entry just appended to `comps` (tracked by index so
+  // reallocation is harmless).
+  bool prev_in_out = false;
+  size_t prev_off = 0;
+  size_t prev_len = carry_len;
+
+  for (size_t produced = 0; produced < max_entries && *pos < size;
+       ++produced) {
+    const size_t entry_pos = *pos;
+    const size_t entry_base = comps.size();
+    uint32_t shared = 0;
+    uint32_t added = 0;
+    if (!GetVarint32(data, size, pos, &shared) ||
+        !GetVarint32(data, size, pos, &added)) {
+      *pos = entry_pos;
+      return Status::Corruption("truncated delta block header");
+    }
+    if (shared > prev_len) {
+      *pos = entry_pos;
+      return Status::Corruption("delta block shared prefix exceeds previous");
+    }
+    if (shared + added == 0) {
+      *pos = entry_pos;
+      return Status::Corruption("empty Dewey id in delta block");
+    }
+    if (added > kMaxComponentsPerEntry) {
+      *pos = entry_pos;
+      return Status::Corruption("delta block component count exceeds bound");
+    }
+
+    comps.resize(entry_base + shared + added);
+    const uint32_t* prev =
+        prev_in_out ? comps.data() + prev_off : carry;
+    uint32_t* dst = comps.data() + entry_base;
+    for (size_t i = 0; i < shared; ++i) dst[i] = prev[i];
+    dst += shared;
+
+    size_t got = 0;
+    while (got < added) {
+      const size_t k =
+          Kernel::BulkSingles(data + *pos, size - *pos, dst + got, added - got);
+      *pos += k;
+      got += k;
+      if (got == added) break;
+      uint32_t c = 0;
+      if (!GetVarint32(data, size, pos, &c)) {
+        comps.resize(entry_base);
+        *pos = entry_pos;
+        return Status::Corruption("truncated delta block component");
+      }
+      dst[got++] = c;
+    }
+
+    offsets.push_back(static_cast<uint32_t>(comps.size()));
+    prev_in_out = true;
+    prev_off = entry_base;
+    prev_len = shared + added;
+  }
+  return Status::OK();
+}
+
+}  // namespace decode_detail
+}  // namespace xksearch
+
+#endif  // XKSEARCH_DEWEY_DECODE_KERNELS_IMPL_H_

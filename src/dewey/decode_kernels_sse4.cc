@@ -1,0 +1,62 @@
+// SSE4.1 batch varint widener. Compiled with -msse4.1 only on x86
+// toolchains that accept the flag (see src/dewey/CMakeLists.txt); the
+// dispatcher never calls in here unless cpuid reports sse4.1.
+
+#include "dewey/decode_kernels_impl.h"
+
+#if defined(XKS_DECODE_SSE4_TU)
+
+#include <smmintrin.h>
+
+namespace xksearch {
+namespace {
+
+struct Sse4Kernel {
+  static size_t BulkSingles(const uint8_t* p, size_t n, uint32_t* dst,
+                            size_t want) {
+    const size_t lim = want < n ? want : n;
+    size_t i = 0;
+    while (i + 16 <= lim) {
+      const __m128i bytes =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+      const int mask = _mm_movemask_epi8(bytes);
+      const size_t run =
+          mask == 0 ? 16
+                    : static_cast<size_t>(
+                          __builtin_ctz(static_cast<unsigned>(mask)));
+      if (run == 16) {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                         _mm_cvtepu8_epi32(bytes));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 4),
+                         _mm_cvtepu8_epi32(_mm_srli_si128(bytes, 4)));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 8),
+                         _mm_cvtepu8_epi32(_mm_srli_si128(bytes, 8)));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 12),
+                         _mm_cvtepu8_epi32(_mm_srli_si128(bytes, 12)));
+        i += 16;
+        continue;
+      }
+      for (size_t j = 0; j < run; ++j) dst[i + j] = p[i + j];
+      return i + run;  // hit a multi-byte lead; caller takes over
+    }
+    while (i < lim && p[i] < 0x80) {
+      dst[i] = p[i];
+      ++i;
+    }
+    return i;
+  }
+};
+
+}  // namespace
+
+Status DecodeBlockSse4(const uint8_t* data, size_t size, size_t* pos,
+                       size_t max_entries, const uint32_t* carry,
+                       size_t carry_len, DecodedBlock* out) {
+  return decode_detail::DecodeBlockLoop<Sse4Kernel>(data, size, pos,
+                                                    max_entries, carry,
+                                                    carry_len, out);
+}
+
+}  // namespace xksearch
+
+#endif  // XKS_DECODE_SSE4_TU

@@ -1,5 +1,6 @@
 #include "dewey/packed_list.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/bitio.h"
@@ -41,57 +42,50 @@ bool PackedDeweyList::Append(const DeweyId& id) {
   return true;
 }
 
-void PackedDeweyList::DecodeEntry(size_t* pos,
-                                  std::vector<uint32_t>* comps) const {
-  uint32_t shared = 0;
-  uint32_t added = 0;
-  bool ok = GetVarint32(arena_.data(), arena_.size(), pos, &shared) &&
-            GetVarint32(arena_.data(), arena_.size(), pos, &added);
-  assert(ok && shared <= comps->size());
-  comps->resize(shared);
-  for (uint32_t i = 0; i < added; ++i) {
-    uint32_t c = 0;
-    ok = GetVarint32(arena_.data(), arena_.size(), pos, &c);
-    assert(ok);
-    comps->push_back(c);
-  }
-  (void)ok;
+void PackedDeweyList::DecodeBlockInto(size_t b, DecodedBlock* out) const {
+  out->Clear();
+  size_t pos = blocks_[b].arena_off;
+  const Status status = DecodeBlock(arena_.data(), arena_.size(), &pos,
+                                    EntriesInBlock(b), nullptr, 0, out);
+  assert(status.ok() && out->count() == EntriesInBlock(b) &&
+         "packed arena is trusted in-process input");
+  (void)status;
+}
+
+void PackedDeweyList::LoadBlock(size_t b, Probe* probe) const {
+  if (probe->loaded_list_ == this && probe->block_ == b) return;
+  DecodeBlockInto(b, &probe->buf_);
+  probe->loaded_list_ = this;
+  probe->block_ = b;
 }
 
 void PackedDeweyList::LoadBlockFirst(size_t b, Probe* probe) const {
-  size_t pos = blocks_[b].arena_off;
-  probe->cur_.clear();  // block firsts have shared = 0
-  DecodeEntry(&pos, &probe->cur_);
-  probe->block_ = b;
+  LoadBlock(b, probe);
+  probe->in_block_ = 0;
   probe->index_ = b * block_size_;
-  probe->next_byte_ = pos;
   probe->at_end_ = false;
   probe->valid_ = true;
 }
 
 PackedDeweyList::SeekResult PackedDeweyList::ScanBlockFrom(
-    DeweyView v, size_t b, size_t start, size_t pos, Probe* probe,
+    DeweyView v, size_t b, size_t start, Probe* probe,
     uint64_t* cmp_count) const {
-  // Precondition: probe->cur_ holds entry b*block_size_ + start, which
-  // compares < v; `pos` is the arena offset just past its encoding.
+  // Precondition: probe->buf_ holds block b decoded and its entry
+  // `start` compares < v.
   const size_t count = EntriesInBlock(b);
-  size_t in_block = start;
-  while (in_block + 1 < count) {
-    probe->pred_.assign(probe->cur_.begin(), probe->cur_.end());
-    probe->pred_valid_ = true;
-    DecodeEntry(&pos, &probe->cur_);
-    ++probe->index_;
-    ++in_block;
-    const int c =
-        DeweyView(probe->cur_.data(), probe->cur_.size()).Compare(v, cmp_count);
+  size_t i = start;
+  while (i + 1 < count) {
+    ++i;
+    const int c = probe->buf_.entry(i).Compare(v, cmp_count);
     if (c >= 0) {
-      probe->next_byte_ = pos;
+      SetPred(probe->buf_.entry(i - 1), probe);
+      probe->in_block_ = i;
+      probe->index_ = b * block_size_ + i;
       return SeekResult{true, c == 0, true};
     }
   }
   // Every entry of block b from `start` on is < v.
-  probe->pred_.assign(probe->cur_.begin(), probe->cur_.end());
-  probe->pred_valid_ = true;
+  SetPred(probe->buf_.entry(count - 1), probe);
   if (b + 1 == blocks_.size()) {
     // End of list: remember the last entry as the predecessor of the
     // (virtual) end position so hinted probes can keep answering.
@@ -132,15 +126,17 @@ PackedDeweyList::SeekResult PackedDeweyList::SeekCold(
   const size_t b = lo - 1;  // last block with first <= v
   LoadBlockFirst(b, probe);
   probe->pred_valid_ = false;
-  const int c =
-      DeweyView(probe->cur_.data(), probe->cur_.size()).Compare(v, cmp_count);
+  const int c = probe->buf_.entry(0).Compare(v, cmp_count);
   if (c == 0) return SeekResult{true, true, false};
-  return ScanBlockFrom(v, b, 0, probe->next_byte_, probe, cmp_count);
+  return ScanBlockFrom(v, b, 0, probe, cmp_count);
 }
 
 PackedDeweyList::SeekResult PackedDeweyList::Seek(DeweyView v, bool hinted,
                                                   Probe* probe,
                                                   uint64_t* cmp_count) const {
+  // A probe that last served a different list carries a foreign hint
+  // (and a foreign decoded block); start cold.
+  if (probe->loaded_list_ != this) probe->valid_ = false;
   if (!hinted || !probe->valid_) return SeekCold(v, probe, cmp_count);
 
   if (probe->at_end_) {
@@ -152,8 +148,7 @@ PackedDeweyList::SeekResult PackedDeweyList::Seek(DeweyView v, bool hinted,
     return SeekCold(v, probe, cmp_count);  // target regressed
   }
 
-  const int c =
-      DeweyView(probe->cur_.data(), probe->cur_.size()).Compare(v, cmp_count);
+  const int c = probe->buf_.entry(probe->in_block_).Compare(v, cmp_count);
   if (c == 0) {
     // Exact hit on the hinted position; lm = rm = v, no predecessor
     // needed.
@@ -172,31 +167,25 @@ PackedDeweyList::SeekResult PackedDeweyList::Seek(DeweyView v, bool hinted,
     return SeekCold(v, probe, cmp_count);
   }
 
-  // cur_ < v: gallop forward. First finish the current block.
+  // The current entry is < v: gallop forward. First finish the current
+  // block (already decoded — this is the hot near-sequential case).
   {
-    const size_t start = probe->index_ - probe->block_ * block_size_;
     const size_t count = EntriesInBlock(probe->block_);
-    size_t pos = probe->next_byte_;
-    size_t in_block = start;
-    while (in_block + 1 < count) {
-      probe->pred_.assign(probe->cur_.begin(), probe->cur_.end());
-      probe->pred_valid_ = true;
-      DecodeEntry(&pos, &probe->cur_);
-      ++probe->index_;
-      ++in_block;
-      const int ci = DeweyView(probe->cur_.data(), probe->cur_.size())
-                         .Compare(v, cmp_count);
+    size_t i = probe->in_block_;
+    while (i + 1 < count) {
+      ++i;
+      const int ci = probe->buf_.entry(i).Compare(v, cmp_count);
       if (ci >= 0) {
-        probe->next_byte_ = pos;
+        SetPred(probe->buf_.entry(i - 1), probe);
+        probe->in_block_ = i;
+        probe->index_ = probe->block_ * block_size_ + i;
         return SeekResult{true, ci == 0, true};
       }
     }
-    probe->next_byte_ = pos;
+    // Current block exhausted below v; its last entry is the predecessor
+    // so far.
+    SetPred(probe->buf_.entry(count - 1), probe);
   }
-  // Current block exhausted below v; its last entry is the predecessor
-  // so far.
-  probe->pred_.assign(probe->cur_.begin(), probe->cur_.end());
-  probe->pred_valid_ = true;
   const size_t b = probe->block_;
   if (b + 1 == blocks_.size()) {
     probe->index_ = size_;
@@ -229,38 +218,54 @@ PackedDeweyList::SeekResult PackedDeweyList::Seek(DeweyView v, bool hinted,
   const size_t target = l - 1;  // last block with first <= v
   LoadBlockFirst(target, probe);
   probe->pred_valid_ = false;
-  const int ct =
-      DeweyView(probe->cur_.data(), probe->cur_.size()).Compare(v, cmp_count);
+  const int ct = probe->buf_.entry(0).Compare(v, cmp_count);
   if (ct == 0) return SeekResult{true, true, false};
-  return ScanBlockFrom(v, target, 0, probe->next_byte_, probe, cmp_count);
+  return ScanBlockFrom(v, target, 0, probe, cmp_count);
 }
 
-PackedDeweyList::Decoder::Decoder(const PackedDeweyList* list,
-                                  size_t start_block)
-    : list_(list) {
-  if (start_block >= list->blocks_.size()) {
-    index_ = list->size_;  // exhausted
-    pos_ = list->arena_.size();
-  } else {
-    pos_ = list->blocks_[start_block].arena_off;
-    index_ = start_block * list->block_size_;
+size_t PackedDeweyList::Decoder::DecodeRunInto(DecodedBlock* out,
+                                               size_t max_entries) {
+  if (max_entries == 0) return 0;
+  if (buf_pos_ >= buf_.count()) {
+    if (block_ >= list_->block_count()) {
+      out->Clear();
+      return 0;
+    }
+    if (max_entries >= list_->block_entries(block_)) {
+      // Whole-block run: kernel-decode straight into the caller's arena.
+      list_->DecodeBlockInto(block_++, out);
+      return out->count();
+    }
+    list_->DecodeBlockInto(block_++, &buf_);
+    buf_pos_ = 0;
   }
-}
-
-bool PackedDeweyList::Decoder::NextView(DeweyView* out) {
-  if (index_ >= list_->size_) return false;
-  list_->DecodeEntry(&pos_, &comps_);
-  ++index_;
-  *out = DeweyView(comps_.data(), comps_.size());
-  return true;
+  out->Clear();
+  const size_t n = std::min(max_entries, buf_.count() - buf_pos_);
+  for (size_t i = 0; i < n; ++i) out->Append(buf_.entry(buf_pos_ + i));
+  buf_pos_ += n;
+  return n;
 }
 
 std::vector<DeweyId> PackedDeweyList::Materialize() const {
   std::vector<DeweyId> out;
+  if (size_ == 0) return out;
   out.reserve(size_);
-  Decoder decoder(this);
-  DeweyId id;
-  while (decoder.Next(&id)) out.push_back(std::move(id));
+  // One whole-list batch decode; block firsts chain cleanly (shared = 0)
+  // so the arena decodes end to end in a single kernel call. The
+  // component arena is pre-sized from the skip table: the average
+  // block-first depth is a good proxy for the average entry depth.
+  DecodedBlock all;
+  all.components.reserve(size_ * (firsts_.size() / blocks_.size() + 1));
+  all.offsets.reserve(size_ + 1);
+  size_t pos = 0;
+  const Status status =
+      DecodeBlock(arena_.data(), arena_.size(), &pos, size_, nullptr, 0, &all);
+  assert(status.ok() && all.count() == size_ &&
+         "packed arena is trusted in-process input");
+  (void)status;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(DeweyId::FromView(all.entry(i)));
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dewey/decode_kernels.h"
 #include "dewey/dewey_id.h"
 
 namespace xksearch {
@@ -22,20 +23,26 @@ namespace xksearch {
 /// the skip table — so locating a block is a branch-light binary search
 /// over DeweyView comparisons with no decoding at all.
 ///
+/// All decoding is block-at-a-time through the batch kernels
+/// (decode_kernels.h): a whole block of entries lands in one reusable
+/// DecodedBlock arena per call, instead of entry-at-a-time varint
+/// cursors. The kernel is picked once at startup (scalar/SWAR/SSE4/AVX2
+/// by cpuid); every kernel yields bit-identical arenas.
+///
 /// Probing (lm/rm) is: block binary search on the skip table, then a
-/// forward decode-and-compare over at most `block_size` entries. The
-/// hinted variant (Seek with hinted = true) instead remembers the last
-/// probe position in the caller's Probe and gallops forward from it —
-/// exponential search over block-first ids, then the same in-block scan —
-/// exploiting the nondecreasing-probe property of the eager SLCA chains,
-/// which turns Indexed Lookup Eager's probe sequences near-sequential.
-/// A regressing probe target is detected and falls back to the cold
-/// binary search, so hinted results are identical for arbitrary targets.
+/// forward scan over the decoded block. The hinted variant (Seek with
+/// hinted = true) instead remembers the last probe position in the
+/// caller's Probe and gallops forward from it — exponential search over
+/// block-first ids, then the same in-block scan — exploiting the
+/// nondecreasing-probe property of the eager SLCA chains, which turns
+/// Indexed Lookup Eager's probe sequences near-sequential. A regressing
+/// probe target is detected and falls back to the cold binary search, so
+/// hinted results are identical for arbitrary targets.
 ///
 /// All decode scratch lives in the caller-owned Probe (reused across
-/// calls), so the hot match path performs no per-id heap allocation;
-/// the one DeweyId a match operation returns is materialized by the
-/// caller from the DeweyView the probe exposes.
+/// calls) and a probe keeps its current block decoded, so consecutive
+/// seeks into the same block decode nothing and the hot match path
+/// performs no per-id heap allocation.
 ///
 /// Thread safety: a built (no longer appended-to) list is immutable and
 /// may be probed from any number of threads, each with its own Probe.
@@ -76,29 +83,41 @@ class PackedDeweyList {
            firsts_.capacity() * sizeof(uint32_t);
   }
 
-  /// \brief Per-caller probe state: decode scratch plus the gallop hint.
+  /// Batch-decodes block `b` into `out` (replacing its contents) through
+  /// the active kernel. The arena is trusted in-process input, so decode
+  /// failure is a logic error, not a Status.
+  void DecodeBlockInto(size_t b, DecodedBlock* out) const;
+
+  /// \brief Per-caller probe state: the decoded current block plus the
+  /// gallop hint.
   ///
   /// One Probe serves any number of Seek calls against one list; its
-  /// scratch buffers grow to the list's maximum depth once and are then
-  /// reused, so steady-state probing allocates nothing.
+  /// block arena grows once and is then reused, so steady-state probing
+  /// allocates nothing, and consecutive seeks into one block share a
+  /// single batch decode.
   class Probe {
    public:
     Probe() = default;
 
-    /// Forgets the hint; the next Seek runs the cold binary search.
-    void Reset() { valid_ = false; }
+    /// Forgets the hint and the cached block; the next Seek runs the
+    /// cold binary search and decodes afresh.
+    void Reset() {
+      valid_ = false;
+      loaded_list_ = nullptr;
+    }
 
    private:
     friend class PackedDeweyList;
 
-    std::vector<uint32_t> cur_;   // decoded entry at index_
-    std::vector<uint32_t> pred_;  // decoded entry at index_ - 1
-    bool valid_ = false;          // hint usable at all
-    bool at_end_ = false;         // index_ == size(): every entry < target
-    bool pred_valid_ = false;     // pred_ holds entry index_ - 1
-    size_t index_ = 0;            // global entry index of cur_
-    size_t block_ = 0;            // block containing cur_
-    size_t next_byte_ = 0;        // arena offset just past cur_'s encoding
+    DecodedBlock buf_;            // decoded block block_
+    std::vector<uint32_t> pred_;  // entry index_ - 1 (when pred_valid_)
+    const PackedDeweyList* loaded_list_ = nullptr;  // owner of buf_
+    bool valid_ = false;       // hint usable at all
+    bool at_end_ = false;      // index_ == size(): every entry < target
+    bool pred_valid_ = false;  // pred_ holds entry index_ - 1
+    size_t index_ = 0;         // global entry index of the current entry
+    size_t block_ = 0;         // block held in buf_
+    size_t in_block_ = 0;      // current entry's position inside buf_
   };
 
   struct SeekResult {
@@ -124,7 +143,7 @@ class PackedDeweyList {
   /// Views into the probe's state after Seek; valid until the next Seek
   /// (or Reset) on that probe.
   DeweyView lower_bound(const Probe& probe) const {
-    return DeweyView(probe.cur_.data(), probe.cur_.size());
+    return probe.buf_.entry(probe.in_block_);
   }
   DeweyView predecessor(const Probe& probe) const {
     return DeweyView(probe.pred_.data(), probe.pred_.size());
@@ -132,20 +151,35 @@ class PackedDeweyList {
 
   /// \brief Forward-only decoder over the whole list (Scan-layout
   /// consumers, the disk-index builder, differential tests).
+  ///
+  /// Internally block-buffered: each refill batch-decodes one block, and
+  /// DecodeRunInto exposes whole decoded blocks to callers that iterate
+  /// arenas instead of entries.
   class Decoder {
    public:
-    explicit Decoder(const PackedDeweyList* list) : list_(list) {}
+    explicit Decoder(const PackedDeweyList* list) : Decoder(list, 0) {}
 
     /// Decoder positioned at the first entry of block `start_block`
     /// (chunked execution: each chunk decodes only its own block range).
     /// Block firsts are stored with no shared prefix, so decoding starts
     /// clean mid-list. `start_block` past the last block yields an
     /// immediately-exhausted decoder.
-    Decoder(const PackedDeweyList* list, size_t start_block);
+    Decoder(const PackedDeweyList* list, size_t start_block)
+        : list_(list),
+          block_(start_block < list->block_count() ? start_block
+                                                   : list->block_count()) {}
 
-    /// Decodes the next entry as a view into internal scratch (valid
-    /// until the next call). Returns false at the end of the list.
-    bool NextView(DeweyView* out);
+    /// Decodes the next entry as a view into the internal block arena
+    /// (valid until the next refill). Returns false at the end.
+    bool NextView(DeweyView* out) {
+      if (buf_pos_ >= buf_.count()) {
+        if (block_ >= list_->block_count()) return false;
+        list_->DecodeBlockInto(block_++, &buf_);
+        buf_pos_ = 0;
+      }
+      *out = buf_.entry(buf_pos_++);
+      return true;
+    }
 
     /// Materializing variant; reuses `out`'s component capacity.
     bool Next(DeweyId* out) {
@@ -155,14 +189,21 @@ class PackedDeweyList {
       return true;
     }
 
+    /// Replaces `out` with the next run of up to `max_entries` decoded
+    /// entries (at most one block per call) and returns how many it
+    /// delivered; 0 means end of list. When the run aligns with a whole
+    /// pending block it is kernel-decoded straight into `out`.
+    size_t DecodeRunInto(DecodedBlock* out, size_t max_entries);
+
    private:
     const PackedDeweyList* list_;
-    size_t pos_ = 0;
-    size_t index_ = 0;
-    std::vector<uint32_t> comps_;
+    size_t block_ = 0;    // next block to decode
+    size_t buf_pos_ = 0;  // next unconsumed entry in buf_
+    DecodedBlock buf_;
   };
 
-  /// Decodes the whole list into owning ids (tests, oracles).
+  /// Decodes the whole list into owning ids (tests, oracles). One batch
+  /// decode into a skip-table-pre-sized arena, then materialization.
   std::vector<DeweyId> Materialize() const;
 
  private:
@@ -182,24 +223,28 @@ class PackedDeweyList {
     return n < block_size_ ? n : block_size_;
   }
 
-  /// Decodes one entry at `*pos`, reusing `*comps` as the previous
-  /// entry's components (prefix truncation). Trusted input: the arena is
-  /// produced by Append in-process, so failures are logic errors.
-  void DecodeEntry(size_t* pos, std::vector<uint32_t>* comps) const;
-
-  /// Scans block `b` forward for the first entry >= v, starting at entry
-  /// `start` within the block whose encoding begins at `*pos`; on entry
-  /// `probe->cur_` must hold entry `start`'s components. Updates the
-  /// probe and returns the seek outcome (possibly positioned at the
-  /// first entry of block b + 1, or at the end of the list).
-  SeekResult ScanBlockFrom(DeweyView v, size_t b, size_t start, size_t pos,
-                           Probe* probe, uint64_t* cmp_count) const;
-
-  /// Cold path: block binary search, then ScanBlockFrom.
-  SeekResult SeekCold(DeweyView v, Probe* probe, uint64_t* cmp_count) const;
+  /// Ensures `probe` holds block `b` decoded (batch decode on miss).
+  void LoadBlock(size_t b, Probe* probe) const;
 
   /// Positions the probe on the first entry of block `b` (no compare).
   void LoadBlockFirst(size_t b, Probe* probe) const;
+
+  /// Remembers `v` as the probe's predecessor entry.
+  static void SetPred(DeweyView v, Probe* probe) {
+    probe->pred_.assign(v.data(), v.data() + v.depth());
+    probe->pred_valid_ = true;
+  }
+
+  /// Scans the decoded block `b` forward for the first entry >= v,
+  /// starting at entry `start` within the block; on entry the probe's
+  /// buf_ holds block b and entry `start` compares < v. Updates the
+  /// probe and returns the seek outcome (possibly positioned at the
+  /// first entry of block b + 1, or at the end of the list).
+  SeekResult ScanBlockFrom(DeweyView v, size_t b, size_t start, Probe* probe,
+                           uint64_t* cmp_count) const;
+
+  /// Cold path: block binary search, then ScanBlockFrom.
+  SeekResult SeekCold(DeweyView v, Probe* probe, uint64_t* cmp_count) const;
 
   size_t block_size_;
   size_t size_ = 0;

@@ -16,6 +16,8 @@ struct Term {
   /// Vector-layout escape hatch only: the decoded postings the adapter
   /// points into.
   std::unique_ptr<std::vector<DeweyId>> owned;
+  /// Hot-list path only: the shared decoded copy the adapter points into.
+  std::shared_ptr<const std::vector<DeweyId>> hot;
 };
 
 Result<std::vector<std::string>> Normalize(
@@ -53,6 +55,9 @@ PreparedQuery Assemble(std::vector<Term> terms) {
     if (term.owned != nullptr) {
       query.materialized.push_back(std::move(term.owned));
     }
+    if (term.hot != nullptr) {
+      query.pinned.push_back(std::move(term.hot));
+    }
   }
   query.pointers.reserve(query.lists.size());
   for (const auto& list : query.lists) query.pointers.push_back(list.get());
@@ -65,7 +70,8 @@ Result<PreparedQuery> PrepareQuery(const InvertedIndex& index,
                                    const std::vector<std::string>& keywords,
                                    const TokenizerOptions& tokenizer,
                                    QueryStats* stats,
-                                   bool use_packed_lists) {
+                                   bool use_packed_lists,
+                                   DecodedListProvider* hot_lists) {
   XKS_ASSIGN_OR_RETURN(std::vector<std::string> normalized,
                        Normalize(keywords, tokenizer));
   std::vector<Term> terms;
@@ -76,8 +82,14 @@ Result<PreparedQuery> PrepareQuery(const InvertedIndex& index,
     if (list == nullptr) {
       term.list = std::unique_ptr<KeywordList>(new EmptyKeywordList());
     } else if (use_packed_lists) {
-      term.list =
-          std::unique_ptr<KeywordList>(new PackedKeywordList(list, stats));
+      if (hot_lists != nullptr) term.hot = hot_lists->Get(list);
+      if (term.hot != nullptr) {
+        term.list = std::unique_ptr<KeywordList>(
+            new VectorKeywordList(term.hot.get(), stats));
+      } else {
+        term.list =
+            std::unique_ptr<KeywordList>(new PackedKeywordList(list, stats));
+      }
     } else {
       term.owned = std::make_unique<std::vector<DeweyId>>(list->Materialize());
       term.list = std::unique_ptr<KeywordList>(

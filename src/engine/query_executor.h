@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "engine/search_types.h"
 #include "index/inverted_index.h"
 #include "index/tokenizer.h"
 #include "slca/keyword_list.h"
@@ -33,6 +34,11 @@ struct PreparedQuery {
   /// elements keep the vectors' addresses stable while this struct is
   /// built and moved.
   std::vector<std::unique_ptr<std::vector<DeweyId>>> materialized;
+  /// Hot-list keep-alives: decoded copies handed out by a
+  /// DecodedListProvider stay pinned here for the query's lifetime, so
+  /// a concurrent cache eviction or epoch invalidation cannot free a
+  /// vector an adapter still points into.
+  std::vector<std::shared_ptr<const std::vector<DeweyId>>> pinned;
   /// Frequency extremes, for algorithm auto-selection.
   uint64_t min_frequency = 0;
   uint64_t max_frequency = 0;
@@ -52,11 +58,19 @@ struct PreparedQuery {
 /// packed posting arenas directly; otherwise each list is materialized
 /// into a per-query `std::vector<DeweyId>` and served by the classic
 /// VectorKeywordList — the differential-testing escape hatch.
+///
+/// On the packed path, a non-null `hot_lists` provider is consulted per
+/// list first: a hit swaps in a pinned, already-decoded vector (served
+/// through VectorKeywordList) and skips all per-query decode for that
+/// term. Result sets and match-operation counts are unchanged — only
+/// postings_read-free probe internals differ — and misses fall through
+/// to the packed adapters untouched.
 Result<PreparedQuery> PrepareQuery(const InvertedIndex& index,
                                    const std::vector<std::string>& keywords,
                                    const TokenizerOptions& tokenizer,
                                    QueryStats* stats,
-                                   bool use_packed_lists = true);
+                                   bool use_packed_lists = true,
+                                   DecodedListProvider* hot_lists = nullptr);
 
 /// Prepares a query against a disk index (its dictionary doubles as the
 /// frequency table).

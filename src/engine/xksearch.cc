@@ -100,7 +100,8 @@ Result<SearchResult> XKSearch::SearchStreaming(
                          PrepareQuery(index_, keywords,
                                       index_options_.tokenizer,
                                       &result.stats,
-                                      options.use_packed_lists));
+                                      options.use_packed_lists,
+                                      options.hot_lists));
   }
 
   result.keywords = prepared.keywords;

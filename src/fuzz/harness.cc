@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "dewey/decode_kernels.h"
 #include "engine/disk_searcher.h"
 #include "engine/xksearch.h"
 #include "gen/random_tree.h"
@@ -706,6 +707,29 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
       const std::string label = AlgorithmLabel(algorithm, false);
       Result<SearchResult> packed = engine.Search(keywords, so);
       ctx.Check(label.c_str(), packed, *oracle_slca);
+      // Decode-kernel differential: the same packed query forced through
+      // the scalar kernel must produce the identical result set and
+      // match-operation count as the dispatched (SWAR/SIMD) run — the
+      // kernel may only change how bytes are decoded, never what they
+      // decode to. Skipped when scalar is already the active kernel
+      // (non-x86 build, --no-simd, or XK_FORCE_SCALAR_DECODE).
+      if (ActiveDecodeKernel() != DecodeKernel::kScalar) {
+        ForceScalarDecode(true);
+        Result<SearchResult> scalar = engine.Search(keywords, so);
+        ForceScalarDecode(false);
+        const std::string scalar_label = label + "/scalar-decode";
+        ctx.Check(scalar_label.c_str(), scalar, *oracle_slca);
+        if (packed.ok() && scalar.ok()) {
+          ++report.cases;
+          const uint64_t packed_ops = packed->stats.match_ops.load();
+          const uint64_t scalar_ops = scalar->stats.match_ops.load();
+          if (packed_ops != scalar_ops) {
+            ctx.Diverge(label + " match_ops=" + std::to_string(packed_ops) +
+                        " but " + scalar_label +
+                        " match_ops=" + std::to_string(scalar_ops));
+          }
+        }
+      }
       so.use_packed_lists = false;
       const std::string vec_label = label + "/vector";
       Result<SearchResult> vec = engine.Search(keywords, so);

@@ -1,0 +1,139 @@
+#include "serve/hot_list_cache.h"
+
+#include <atomic>
+#include <utility>
+
+#include "storage/wal.h"
+
+namespace xksearch {
+namespace serve {
+
+namespace {
+
+/// Resident bytes of one decoded list: vector header + per-id header +
+/// each id's component storage. Capacity (not size) is what the heap
+/// actually holds.
+size_t DecodedBytes(const std::vector<DeweyId>& ids) {
+  size_t bytes = sizeof(std::vector<DeweyId>) +
+                 ids.capacity() * sizeof(DeweyId);
+  for (const DeweyId& id : ids) {
+    bytes += id.components().capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+/// Sighting-count sentinel for lists bigger than the whole budget.
+constexpr uint32_t kRejected = ~uint32_t{0};
+
+}  // namespace
+
+uint64_t HotListCache::CurrentEpoch() const {
+  return WalCounters::Instance().commits.load(std::memory_order_relaxed);
+}
+
+void HotListCache::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Forcing a mismatch with the next observed epoch flushes on the next
+  // Get even if no WAL commit happened in between.
+  epoch_primed_ = false;
+  if (!entries_.empty() || !sightings_.empty()) {
+    entries_.clear();
+    sightings_.clear();
+    bytes_ = 0;
+    ++stats_.invalidations;
+  }
+}
+
+void HotListCache::MaybeFlushLocked() {
+  const uint64_t now = CurrentEpoch();
+  if (epoch_primed_ && now == observed_epoch_) return;
+  if (epoch_primed_ && (!entries_.empty() || !sightings_.empty())) {
+    ++stats_.invalidations;
+  }
+  entries_.clear();
+  sightings_.clear();
+  bytes_ = 0;
+  observed_epoch_ = now;
+  epoch_primed_ = true;
+}
+
+bool HotListCache::MakeRoomLocked(size_t need) {
+  if (need > options_.max_bytes) return false;
+  while (bytes_ + need > options_.max_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() || it->second.hits < victim->second.hits) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return false;
+    bytes_ -= victim->second.bytes;
+    // Reset the victim's sighting count too: it must re-earn admission,
+    // otherwise the next Get would bounce it straight back in.
+    sightings_.erase(victim->first);
+    entries_.erase(victim);
+    ++stats_.evicted;
+  }
+  return true;
+}
+
+std::shared_ptr<const std::vector<DeweyId>> HotListCache::Get(
+    const PackedDeweyList* list) {
+  if (options_.max_bytes == 0 || list == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeFlushLocked();
+
+  auto it = entries_.find(list);
+  if (it != entries_.end()) {
+    ++it->second.hits;
+    ++stats_.hits;
+    return it->second.ids;
+  }
+
+  const uint32_t threshold = options_.admit_after == 0 ? 1
+                                                       : options_.admit_after;
+  uint32_t& seen = sightings_[list];
+  if (seen == kRejected) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (++seen < threshold) {
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  // Hot enough: decode once and admit if the budget allows. Decoding
+  // under the lock is deliberate — it serializes the one-time cost so
+  // concurrent requests for the same term cannot all decode it.
+  auto ids = std::make_shared<std::vector<DeweyId>>(list->Materialize());
+  const size_t bytes = DecodedBytes(*ids);
+  if (!MakeRoomLocked(bytes)) {
+    // This list alone exceeds the whole budget: it can never be
+    // resident, so mark it rejected — otherwise every threshold-th Get
+    // would pay the full decode again for nothing. The current query
+    // still gets the copy we already paid for.
+    seen = kRejected;
+    ++stats_.misses;
+    return ids;
+  }
+  Entry entry;
+  entry.ids = std::move(ids);
+  entry.bytes = bytes;
+  entry.hits = 1;
+  bytes_ += bytes;
+  ++stats_.admitted;
+  ++stats_.hits;
+  return entries_.emplace(list, std::move(entry)).first->second.ids;
+}
+
+HotListCache::Stats HotListCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.bytes = bytes_;
+  stats.entries = entries_.size();
+  stats.capacity = options_.max_bytes;
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace xksearch

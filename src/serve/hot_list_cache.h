@@ -1,0 +1,102 @@
+#ifndef XKSEARCH_SERVE_HOT_LIST_CACHE_H_
+#define XKSEARCH_SERVE_HOT_LIST_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dewey/dewey_id.h"
+#include "dewey/packed_list.h"
+#include "engine/search_types.h"
+
+namespace xksearch {
+namespace serve {
+
+/// \brief Byte-bounded cache of fully decoded posting lists for hot
+/// terms (the serving side of DecodedListProvider).
+///
+/// Query preparation asks once per packed list; the cache counts
+/// sightings and only pays the one-time Materialize (and the resident
+/// bytes) for lists requested at least `admit_after` times — one-off
+/// terms never pollute it. Admission over budget evicts the
+/// least-frequently-hit entries first (LFU-ish: a plain hit counter, no
+/// decay), and an entry that alone exceeds the budget is never admitted.
+///
+/// Invalidation is by epoch: the observed epoch is the process-wide WAL
+/// commit counter plus a manual bump count, so any committed index
+/// update — including one replayed by crash recovery, which also
+/// commits through the WAL counters — flushes the whole cache on the
+/// next Get. That is deliberately coarse (any index committing anywhere
+/// invalidates every cached list) because correctness only needs
+/// "never serve a decoded copy older than the arena it mirrors", and
+/// pointer-keyed entries cannot tell which commit rebuilt which arena.
+/// In-flight queries keep their copies alive through the shared_ptr.
+///
+/// Thread-safe; every operation takes one internal mutex.
+class HotListCache : public DecodedListProvider {
+ public:
+  struct Options {
+    /// Resident-bytes budget for decoded entries; 0 disables caching
+    /// (every Get declines).
+    size_t max_bytes = 0;
+    /// Sightings of a list before it is decoded and admitted. 1 admits
+    /// on first sight; 0 is treated as 1.
+    uint32_t admit_after = 2;
+  };
+
+  explicit HotListCache(const Options& options) : options_(options) {}
+
+  /// DecodedListProvider: the pinned decoded copy, or nullptr to let the
+  /// query run on the packed arena (not yet hot, over budget, or the
+  /// cache is disabled).
+  std::shared_ptr<const std::vector<DeweyId>> Get(
+      const PackedDeweyList* list) override;
+
+  /// Manually advances the epoch, flushing the cache on the next Get.
+  /// The serving layer calls this from InvalidateCache so explicit
+  /// invalidation drops decoded lists along with cached results.
+  void AdvanceEpoch();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;  // declines: unseen, under admit_after, or over budget
+    uint64_t admitted = 0;
+    uint64_t evicted = 0;
+    uint64_t invalidations = 0;  // whole-cache epoch flushes
+    size_t bytes = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::vector<DeweyId>> ids;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+  };
+
+  /// Current epoch: WAL commits + manual bumps. Lock-free read.
+  uint64_t CurrentEpoch() const;
+  /// Drops everything if the epoch moved since the last call. Requires mu_.
+  void MaybeFlushLocked();
+  /// Evicts lowest-hit entries until `need` bytes fit. Requires mu_.
+  bool MakeRoomLocked(size_t need);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  uint64_t observed_epoch_ = 0;
+  bool epoch_primed_ = false;
+  size_t bytes_ = 0;
+  std::unordered_map<const PackedDeweyList*, uint32_t> sightings_;
+  std::unordered_map<const PackedDeweyList*, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SERVE_HOT_LIST_CACHE_H_

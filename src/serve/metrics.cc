@@ -87,6 +87,16 @@ std::string MetricsRegistry::ReportText(const Gauges& gauges) const {
        << " resident=" << pool.resident << "/" << pool.capacity
        << " hit_ratio=" << pool.HitRatio() << "\n";
   };
+  if (gauges.hot_lists.present) {
+    os << "hot_lists:         entries=" << gauges.hot_lists.entries
+       << " bytes=" << gauges.hot_lists.bytes << "/"
+       << gauges.hot_lists.capacity << " hits=" << gauges.hot_lists.hits
+       << " misses=" << gauges.hot_lists.misses
+       << " admitted=" << gauges.hot_lists.admitted
+       << " evicted=" << gauges.hot_lists.evicted
+       << " invalidations=" << gauges.hot_lists.invalidations
+       << " hit_ratio=" << gauges.hot_lists.HitRatio() << "\n";
+  }
   pool_line("il_pool:           ", gauges.il_pool);
   pool_line("scan_pool:         ", gauges.scan_pool);
   os << "wal:               recoveries=" << gauges.wal.recoveries

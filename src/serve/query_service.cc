@@ -47,6 +47,14 @@ QueryService::QueryService(const XKSearch* engine, const DiskSearcher* searcher,
     shard_exec_ = std::make_unique<shard::ScatterGatherExecutor>(
         collection_, options.shard_exec);
   }
+  // Hot lists only help backends with in-memory packed arenas; the
+  // disk-only searcher never consults the provider.
+  if (options.hot_list_bytes > 0 && searcher_ == nullptr) {
+    HotListCache::Options hot;
+    hot.max_bytes = options.hot_list_bytes;
+    hot.admit_after = options.hot_list_admit_after;
+    hot_lists_ = std::make_unique<HotListCache>(hot);
+  }
   if (options.slca_chunk.workers > 0) {
     ThreadPool::Options chunk_pool;
     chunk_pool.workers = options.slca_chunk.workers;
@@ -69,6 +77,7 @@ Result<SearchResult> QueryService::RunQuery(
     const std::vector<std::string>& keywords,
     const SearchOptions& options) const {
   SearchOptions exec_options = options;
+  if (hot_lists_ != nullptr) exec_options.hot_lists = hot_lists_.get();
   if (chunk_pool_ != nullptr) {
     // Inject the service's chunk executor; the shared budget caps the
     // extra workers across every concurrent query and (for a sharded
@@ -200,6 +209,18 @@ std::string QueryService::MetricsReport() const {
   gauges.queue_depth = pool_.queue_depth();
   gauges.workers = pool_.workers();
   gauges.cache = cache_.GetStats();
+  if (hot_lists_ != nullptr) {
+    const HotListCache::Stats hot = hot_lists_->GetStats();
+    gauges.hot_lists.present = true;
+    gauges.hot_lists.hits = hot.hits;
+    gauges.hot_lists.misses = hot.misses;
+    gauges.hot_lists.admitted = hot.admitted;
+    gauges.hot_lists.evicted = hot.evicted;
+    gauges.hot_lists.invalidations = hot.invalidations;
+    gauges.hot_lists.bytes = hot.bytes;
+    gauges.hot_lists.entries = hot.entries;
+    gauges.hot_lists.capacity = hot.capacity;
+  }
   {
     const WalCounters& wal = WalCounters::Instance();
     gauges.wal.recoveries = wal.recoveries.load(std::memory_order_relaxed);

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "engine/disk_searcher.h"
 #include "engine/xksearch.h"
+#include "serve/hot_list_cache.h"
 #include "serve/metrics.h"
 #include "serve/query_cache.h"
 #include "serve/thread_pool.h"
@@ -25,6 +26,16 @@ struct QueryServiceOptions {
   QueryCache::Options cache;
   /// Disable to measure the raw engine (every request dispatches).
   bool enable_cache = true;
+  /// Byte budget of the decoded hot-list cache: frequent terms' packed
+  /// posting lists are decoded once and served as pinned vectors instead
+  /// of being re-decoded per query. 0 (the default) disables it. Like
+  /// shard_exec, pure execution config — results and Table-1 counters do
+  /// not change, so it is not part of the cache key. Only the in-memory
+  /// packed path consults it (disk backends decode per block anyway).
+  size_t hot_list_bytes = 0;
+  /// Sightings of a term before its list is decoded into the hot-list
+  /// cache (admission filter; see HotListCache::Options::admit_after).
+  uint32_t hot_list_admit_after = 2;
   /// Deadline applied to requests submitted without an explicit timeout;
   /// zero means no deadline.
   std::chrono::milliseconds default_timeout{0};
@@ -126,11 +137,21 @@ class QueryService {
   QueryCacheKey MakeCacheKey(const std::vector<std::string>& keywords,
                              const SearchOptions& options) const;
 
-  /// Drops all cached results (hook for future index mutation).
-  void InvalidateCache() { cache_.Clear(); }
+  /// Drops all cached results and decoded hot lists (hook for index
+  /// mutation; the hot-list cache additionally self-invalidates on every
+  /// WAL commit it observes).
+  void InvalidateCache() {
+    cache_.Clear();
+    if (hot_lists_ != nullptr) hot_lists_->AdvanceEpoch();
+  }
 
   const MetricsRegistry& metrics() const { return metrics_; }
   QueryCache::Stats cache_stats() const { return cache_.GetStats(); }
+  /// Zeroed stats when the hot-list cache is disabled.
+  HotListCache::Stats hot_list_stats() const {
+    return hot_lists_ != nullptr ? hot_lists_->GetStats()
+                                 : HotListCache::Stats{};
+  }
   size_t queue_depth() const { return pool_.queue_depth(); }
 
   /// Text report of every counter, histogram and gauge.
@@ -152,6 +173,9 @@ class QueryService {
   QueryServiceOptions options_;
   MetricsRegistry metrics_;
   QueryCache cache_;
+  /// Declared before pool_: in-flight workers consult it through the
+  /// SearchOptions they carry, so it must outlive the pool join.
+  std::unique_ptr<HotListCache> hot_lists_;
   std::atomic<bool> stopped_{false};
   // Declared before pool_ so they are destroyed after it: request
   // workers wait for their chunk tasks inline, so once pool_ has joined

@@ -22,9 +22,22 @@ class VectorIterator : public KeywordListIterator {
     return true;
   }
 
+  /// Vector lists have no encoding to batch-decode, but exposing ids
+  /// through the same arena keeps the blocked consumers on one code
+  /// path (and the charging contract: the cursor counts, not us).
+  bool DecodeBlockInto(DecodedBlock* out) override {
+    out->Clear();
+    const size_t n = std::min<size_t>(kDecodeRun, end_ - std::min(pos_, end_));
+    for (size_t i = 0; i < n; ++i) out->Append((*ids_)[pos_ + i].view());
+    pos_ += n;
+    return true;
+  }
+
   const Status& status() const override { return status_; }
 
  private:
+  static constexpr size_t kDecodeRun = 32;
+
   const std::vector<DeweyId>* ids_;
   QueryStats* stats_;
   size_t pos_ = 0;
@@ -38,6 +51,9 @@ class DiskIterator : public KeywordListIterator {
       : cursor_(std::move(cursor)) {}
 
   bool Next(DeweyId* out) override { return cursor_.Next(out); }
+  bool DecodeBlockInto(DecodedBlock* out) override {
+    return cursor_.DecodeBlockInto(out);
+  }
   const Status& status() const override { return cursor_.status(); }
 
  private:

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "dewey/decode_kernels.h"
 #include "dewey/dewey_id.h"
 #include "storage/disk_index.h"
 
@@ -23,6 +24,64 @@ class KeywordListIterator {
   /// to distinguish clean exhaustion from an I/O or corruption error.
   virtual bool Next(DeweyId* out) = 0;
   virtual const Status& status() const = 0;
+
+  /// Batch hook: replaces `out` with the iterator's next run of decoded
+  /// entries (typically one storage block) and returns true. An empty
+  /// `out` then means end of list (check status() for errors, as with
+  /// Next). Returns false when the backend has no blocked path — the
+  /// caller falls back to Next for good. Implementations do NOT charge
+  /// postings_read here; the consuming cursor charges per entry it
+  /// actually delivers, so stats are identical across both paths.
+  virtual bool DecodeBlockInto(DecodedBlock* out) {
+    (void)out;
+    return false;
+  }
+};
+
+/// \brief Block-at-a-time consumption adapter over a KeywordListIterator.
+///
+/// Pulls whole decoded arenas through DecodeBlockInto when the backend
+/// supports it (packed, vector and disk lists all do) and serves views
+/// out of the arena with zero per-entry decode or allocation; falls back
+/// permanently to entry-at-a-time Next otherwise. Charges postings_read
+/// once per delivered entry — exactly what the wrapped iterator would
+/// have charged — so the two paths are indistinguishable in QueryStats.
+class BlockedListCursor {
+ public:
+  /// `iter` must outlive the cursor. `stats` may be null.
+  BlockedListCursor(KeywordListIterator* iter, QueryStats* stats)
+      : iter_(iter), stats_(stats) {}
+
+  /// The next entry as a view (valid until the next NextView call);
+  /// false at end of list or error (check iterator status()).
+  bool NextView(DeweyView* out) {
+    if (blocked_) {
+      if (pos_ < block_.count()) {
+        *out = block_.entry(pos_++);
+        if (stats_ != nullptr) ++stats_->postings_read;
+        return true;
+      }
+      if (iter_->DecodeBlockInto(&block_)) {
+        pos_ = 0;
+        if (block_.empty()) return false;
+        *out = block_.entry(pos_++);
+        if (stats_ != nullptr) ++stats_->postings_read;
+        return true;
+      }
+      blocked_ = false;
+    }
+    if (!iter_->Next(&scratch_)) return false;
+    *out = scratch_.view();
+    return true;
+  }
+
+ private:
+  KeywordListIterator* iter_;
+  QueryStats* stats_;
+  DecodedBlock block_;
+  size_t pos_ = 0;
+  bool blocked_ = true;  // until the first DecodeBlockInto refusal
+  DeweyId scratch_;      // fallback materialization target
 };
 
 /// \brief One contiguous range of a keyword list, produced by

@@ -36,6 +36,25 @@ class PackedIterator : public KeywordListIterator {
     return true;
   }
 
+  bool DecodeBlockInto(DecodedBlock* out) override {
+    if (remaining_ == 0) {
+      out->Clear();
+      return true;
+    }
+    if (has_pushed_) {
+      out->Clear();
+      has_pushed_ = false;
+      out->Append(pushed_.view());
+      --remaining_;
+      return true;
+    }
+    const size_t n = decoder_.DecodeRunInto(
+        out, remaining_ == kNoLimit ? ~size_t{0}
+                                    : static_cast<size_t>(remaining_));
+    remaining_ -= remaining_ == kNoLimit ? 0 : n;
+    return true;
+  }
+
   const Status& status() const override { return status_; }
 
  private:

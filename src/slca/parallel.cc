@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 namespace xksearch {
@@ -114,7 +115,10 @@ class SeededScanMatcher {
   Status Init(KeywordList* list, const DeweyId& seed) {
     XKS_ASSIGN_OR_RETURN(iter_,
                          list->NewIteratorAt(seed, &prev_, &prev_valid_));
-    cur_valid_ = iter_->Next(&cur_);
+    cursor_.emplace(iter_.get(), stats_);
+    DeweyView v;
+    cur_valid_ = cursor_->NextView(&v);
+    if (cur_valid_) cur_.AssignFrom(v);
     return iter_->status();
   }
 
@@ -124,9 +128,11 @@ class SeededScanMatcher {
     if (stats_ != nullptr) stats_->match_ops += 2;  // one lm + one rm
     DeweyCmpCharge charge(stats_);
     while (cur_valid_ && cur_.Compare(x, charge.slot()) < 0) {
-      prev_ = cur_;
+      std::swap(prev_, cur_);
       prev_valid_ = true;
-      cur_valid_ = iter_->Next(&cur_);
+      DeweyView v;
+      cur_valid_ = cursor_->NextView(&v);
+      if (cur_valid_) cur_.AssignFrom(v);
       XKS_RETURN_NOT_OK(iter_->status());
     }
     if (prev_valid_ && x.IsAncestorOrSelf(prev_)) {
@@ -147,6 +153,7 @@ class SeededScanMatcher {
 
  private:
   std::unique_ptr<KeywordListIterator> iter_;
+  std::optional<BlockedListCursor> cursor_;
   QueryStats* stats_;
   DeweyId prev_;
   DeweyId cur_;
@@ -175,7 +182,9 @@ Status RunChunkImpl(SlcaAlgorithm algorithm,
   }
 
   ChunkCollector collector(stats, out);
-  DeweyId v;
+  BlockedListCursor s1_cursor(iter.get(), stats);
+  DeweyView v;
+  DeweyId x;
   if (algorithm == SlcaAlgorithm::kScanEager) {
     std::vector<SeededScanMatcher> matchers;
     matchers.reserve(others.size());
@@ -183,16 +192,16 @@ Status RunChunkImpl(SlcaAlgorithm algorithm,
       matchers.emplace_back(stats);
       XKS_RETURN_NOT_OK(matchers.back().Init(list.get(), chunk.first));
     }
-    while (iter->Next(&v)) {
-      DeweyId x = v;
+    while (s1_cursor.NextView(&v)) {
+      x.AssignFrom(v);
       for (SeededScanMatcher& matcher : matchers) {
         XKS_ASSIGN_OR_RETURN(x, matcher.Step(x));
       }
       collector.Offer(x);
     }
   } else {
-    while (iter->Next(&v)) {
-      DeweyId x = v;
+    while (s1_cursor.NextView(&v)) {
+      x.AssignFrom(v);
       for (const auto& list : others) {
         XKS_ASSIGN_OR_RETURN(x, MatchStep(x, list.get(), stats));
       }

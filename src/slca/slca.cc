@@ -1,6 +1,7 @@
 #include "slca/slca.h"
 
 #include <cassert>
+#include <optional>
 
 namespace xksearch {
 
@@ -94,7 +95,10 @@ class ScanMatcher {
 
   Status Init(KeywordList* list) {
     XKS_ASSIGN_OR_RETURN(iter_, list->NewIterator());
-    cur_valid_ = iter_->Next(&cur_);
+    cursor_.emplace(iter_.get(), stats_);
+    DeweyView v;
+    cur_valid_ = cursor_->NextView(&v);
+    if (cur_valid_) cur_.AssignFrom(v);
     return iter_->status();
   }
 
@@ -103,9 +107,11 @@ class ScanMatcher {
     if (stats_ != nullptr) stats_->match_ops += 2;  // one lm + one rm
     DeweyCmpCharge charge(stats_);
     while (cur_valid_ && cur_.Compare(x, charge.slot()) < 0) {
-      prev_ = cur_;
+      std::swap(prev_, cur_);
       prev_valid_ = true;
-      cur_valid_ = iter_->Next(&cur_);
+      DeweyView v;
+      cur_valid_ = cursor_->NextView(&v);
+      if (cur_valid_) cur_.AssignFrom(v);
       XKS_RETURN_NOT_OK(iter_->status());
     }
     if (prev_valid_ && x.IsAncestorOrSelf(prev_)) {
@@ -118,6 +124,7 @@ class ScanMatcher {
 
  private:
   std::unique_ptr<KeywordListIterator> iter_;
+  std::optional<BlockedListCursor> cursor_;
   QueryStats* stats_;
   DeweyId prev_;
   DeweyId cur_;
@@ -162,10 +169,12 @@ Status IndexedLookupEagerSlca(const std::vector<KeywordList*>& lists,
 
   XKS_ASSIGN_OR_RETURN(std::unique_ptr<KeywordListIterator> s1,
                        lists[0]->NewIterator());
+  BlockedListCursor s1_cursor(s1.get(), stats);
   EagerEmitter emitter(options.block_size, stats, emit);
-  DeweyId v;
-  while (s1->Next(&v)) {
-    DeweyId x = v;
+  DeweyView v;
+  DeweyId x;
+  while (s1_cursor.NextView(&v)) {
+    x.AssignFrom(v);
     for (size_t i = 1; i < lists.size(); ++i) {
       XKS_ASSIGN_OR_RETURN(x, MatchStep(x, lists[i], stats));
     }
@@ -191,10 +200,12 @@ Status ScanEagerSlca(const std::vector<KeywordList*>& lists,
     XKS_RETURN_NOT_OK(matchers.back().Init(lists[i]));
   }
 
+  BlockedListCursor s1_cursor(s1.get(), stats);
   EagerEmitter emitter(options.block_size, stats, emit);
-  DeweyId v;
-  while (s1->Next(&v)) {
-    DeweyId x = v;
+  DeweyView v;
+  DeweyId x;
+  while (s1_cursor.NextView(&v)) {
+    x.AssignFrom(v);
     for (ScanMatcher& matcher : matchers) {
       XKS_ASSIGN_OR_RETURN(x, matcher.Step(x));
     }

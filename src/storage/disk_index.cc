@@ -429,24 +429,17 @@ Result<DiskIndex::PostingCursor> DiskIndex::OpenPostingsFrom(
   // predecessor. Positioning decode is deliberately not charged as
   // postings read: the algorithm never consumes these entries. (The
   // uncharged skip is bounded by one block: later blocks start >= start.)
-  while (pc.decoder_.has_value() || (!pc.done_ && pc.LoadBlock())) {
-    DeweyId id;
-    if (!pc.decoder_->Next(&id)) {
-      if (!pc.decoder_->status().ok()) return pc.decoder_->status();
-      pc.decoder_.reset();
-      continue;
+  // The block arrives batch-decoded, so skipping is just advancing the
+  // arena position — the first entry >= start stays unconsumed for Next.
+  for (;;) {
+    if (pc.decoded_pos_ >= pc.decoded_.count()) {
+      if (pc.done_ || !pc.LoadBlock()) break;
     }
-    if (id < start) {
-      *prev = std::move(id);
-      *prev_valid = true;
-      continue;
-    }
-    // First entry >= start: hand it back to the cursor by rewinding the
-    // decoder one entry — cheapest done by re-decoding the block with the
-    // skipped prefix consumed again, so instead remember it for Next().
-    pc.pushed_back_ = std::move(id);
-    pc.has_pushed_back_ = true;
-    break;
+    const DeweyView v = pc.decoded_.entry(pc.decoded_pos_);
+    if (v.Compare(start.view()) >= 0) break;
+    prev->AssignFrom(v);
+    *prev_valid = true;
+    ++pc.decoded_pos_;
   }
   XKS_RETURN_NOT_OK(pc.status_);
   return pc;
@@ -461,8 +454,15 @@ bool DiskIndex::PostingCursor::LoadBlock() {
   --blocks_remaining_;
   const std::string_view value = cursor_.value();
   block_.assign(value.begin(), value.end());
-  decoder_.emplace(reinterpret_cast<const uint8_t*>(block_.data()),
-                   block_.size());
+  decoded_.Clear();
+  decoded_pos_ = 0;
+  size_t pos = 0;
+  status_ = DecodeBlock(block_.data(), block_.size(), &pos,
+                        ~size_t{0}, nullptr, 0, &decoded_);
+  if (!status_.ok()) {
+    done_ = true;
+    return false;
+  }
   status_ = cursor_.Next();
   if (!status_.ok()) {
     done_ = true;
@@ -472,26 +472,36 @@ bool DiskIndex::PostingCursor::LoadBlock() {
 }
 
 bool DiskIndex::PostingCursor::Next(DeweyId* out) {
-  if (has_pushed_back_) {
-    has_pushed_back_ = false;
-    *out = std::move(pushed_back_);
-    if (stats_ != nullptr) ++stats_->postings_read;
-    return true;
-  }
   for (;;) {
-    if (decoder_.has_value()) {
-      if (decoder_->Next(out)) {
-        if (stats_ != nullptr) ++stats_->postings_read;
-        return true;
-      }
-      if (!decoder_->status().ok()) {
-        status_ = decoder_->status();
-        return false;
-      }
-      decoder_.reset();
+    if (decoded_pos_ < decoded_.count()) {
+      out->AssignFrom(decoded_.entry(decoded_pos_++));
+      if (stats_ != nullptr) ++stats_->postings_read;
+      return true;
     }
     if (done_) return false;
     if (!LoadBlock()) return false;
+  }
+}
+
+bool DiskIndex::PostingCursor::DecodeBlockInto(DecodedBlock* out) {
+  out->Clear();
+  for (;;) {
+    if (decoded_pos_ < decoded_.count()) {
+      if (decoded_pos_ == 0) {
+        // Whole block unconsumed: hand the arena over wholesale (the
+        // buffers ping-pong between cursor and consumer, both reused).
+        std::swap(*out, decoded_);
+        decoded_.Clear();
+      } else {
+        for (size_t i = decoded_pos_; i < decoded_.count(); ++i) {
+          out->Append(decoded_.entry(i));
+        }
+        decoded_pos_ = decoded_.count();
+      }
+      return true;
+    }
+    if (done_) return true;  // empty out = end of list (or status_ error)
+    if (!LoadBlock()) return true;
   }
 }
 

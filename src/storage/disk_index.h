@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "common/stats.h"
 #include "dewey/codec.h"
+#include "dewey/decode_kernels.h"
 #include "dewey/dewey_id.h"
 #include "index/inverted_index.h"
 #include "index/tokenizer.h"
@@ -120,11 +121,21 @@ class DiskIndex {
                          QueryStats* stats = nullptr) const;
 
   /// \brief Sequential reader over one keyword list in the scan layout.
+  ///
+  /// Each loaded scan block is batch-decoded in one kernel call
+  /// (decode_kernels.h) into a reused DecodedBlock arena; Next serves
+  /// views out of that arena, and DecodeBlockInto hands whole arenas to
+  /// blocked consumers without re-decoding.
   class PostingCursor {
    public:
-    /// Decodes the next id; false at end of list. Check status()
+    /// Produces the next id; false at end of list. Check status()
     /// afterwards to distinguish exhaustion from corruption.
     bool Next(DeweyId* out);
+    /// Replaces `out` with the rest of the current decoded block (or the
+    /// next one). Empty `out` means end of list; decode/read errors land
+    /// in status() exactly like Next. Does not charge postings_read —
+    /// the consuming cursor charges per delivered entry.
+    bool DecodeBlockInto(DecodedBlock* out);
     const Status& status() const { return status_; }
 
    private:
@@ -138,13 +149,13 @@ class DiskIndex {
     const DiskIndex* index_;
     uint32_t term_;
     BPlusTree::Cursor cursor_;
-    /// A vector, not a string: the decoder keeps raw pointers into this
-    /// buffer, and OpenPostingsFrom engages it before the cursor is
-    /// moved into its Result. Vector moves transfer the element buffer,
-    /// so the decoder's view stays valid; a short std::string would be
-    /// relocated (SSO) and leave the decoder dangling.
+    /// Raw block payload scratch (copied out of the pinned page, then
+    /// immediately batch-decoded into decoded_).
     std::vector<uint8_t> block_;
-    std::optional<DeltaBlockDecoder> decoder_;
+    /// The current block, fully decoded; decoded_pos_ is the next
+    /// unconsumed entry.
+    DecodedBlock decoded_;
+    size_t decoded_pos_ = 0;
     QueryStats* stats_ = nullptr;
     Status status_;
     bool done_ = false;
@@ -152,11 +163,6 @@ class DiskIndex {
     /// Chunked execution bounds each worker's cursor to its own block
     /// range so chunks tile the list without overlap.
     uint64_t blocks_remaining_ = ~uint64_t{0};
-    /// One-entry pushback used by OpenPostingsFrom: the in-block skip
-    /// necessarily decodes the first entry >= start before knowing it
-    /// reached it; Next() returns it before touching the decoder again.
-    DeweyId pushed_back_;
-    bool has_pushed_back_ = false;
   };
 
   /// Opens a cursor at the head of `term`'s keyword list.

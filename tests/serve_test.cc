@@ -13,11 +13,13 @@
 #include "engine/xksearch.h"
 #include "gen/dblp_generator.h"
 #include "gtest/gtest.h"
+#include "serve/hot_list_cache.h"
 #include "serve/metrics.h"
 #include "serve/query_cache.h"
 #include "serve/query_service.h"
 #include "serve/thread_pool.h"
 #include "shard/sharded_collection.h"
+#include "storage/wal.h"
 #include "test_util.h"
 
 namespace xksearch {
@@ -557,6 +559,161 @@ TEST(QueryServiceTest, ShardedMetricsReportHasPerShardGauges) {
   }
   EXPECT_GT(pruned, 0u);
   EXPECT_GT(executed, 0u);
+}
+
+TEST(HotListCacheTest, AdmitsAfterRepeatedSightingsAndServesHits) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const PackedDeweyList* carol = system->index().Find("carol");
+  ASSERT_NE(carol, nullptr);
+
+  HotListCache::Options options;
+  options.max_bytes = 64 << 20;
+  options.admit_after = 2;
+  HotListCache cache(options);
+
+  // First sighting: under the admission threshold, declined.
+  EXPECT_EQ(cache.Get(carol), nullptr);
+  EXPECT_EQ(cache.GetStats().misses, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+
+  // Second sighting: decoded, admitted, and served.
+  std::shared_ptr<const std::vector<DeweyId>> decoded = cache.Get(carol);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(*decoded, carol->Materialize());
+  HotListCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  // Third sighting: a straight hit on the same decoded copy.
+  EXPECT_EQ(cache.Get(carol).get(), decoded.get());
+  EXPECT_EQ(cache.GetStats().hits, 2u);
+}
+
+TEST(HotListCacheTest, ByteBudgetEvictsLeastHitEntriesFirst) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const PackedDeweyList* alpha = system->index().Find("alpha");
+  const PackedDeweyList* bravo = system->index().Find("bravo");
+  const PackedDeweyList* carol = system->index().Find("carol");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(bravo, nullptr);
+  ASSERT_NE(carol, nullptr);
+
+  // Measure each list's resident size through an unbounded cache.
+  size_t bytes_bravo_carol;
+  {
+    HotListCache::Options unbounded;
+    unbounded.max_bytes = size_t{1} << 30;
+    unbounded.admit_after = 1;
+    HotListCache probe(unbounded);
+    ASSERT_NE(probe.Get(bravo), nullptr);
+    ASSERT_NE(probe.Get(carol), nullptr);
+    bytes_bravo_carol = probe.GetStats().bytes;
+  }
+
+  HotListCache::Options options;
+  options.max_bytes = bytes_bravo_carol;
+  options.admit_after = 1;
+  HotListCache cache(options);
+  ASSERT_NE(cache.Get(bravo), nullptr);
+  ASSERT_NE(cache.Get(carol), nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+  // Extra hits make carol the hotter entry.
+  ASSERT_NE(cache.Get(carol), nullptr);
+  ASSERT_NE(cache.Get(carol), nullptr);
+
+  // Admitting alpha overflows the budget; the coldest entry (bravo, one
+  // hit) is evicted, never carol.
+  ASSERT_NE(cache.Get(alpha), nullptr);
+  HotListCache::Stats stats = cache.GetStats();
+  EXPECT_GE(stats.evicted, 1u);
+  EXPECT_LE(stats.bytes, options.max_bytes);
+  const uint64_t hits_before = stats.hits;
+  EXPECT_NE(cache.Get(carol), nullptr);
+  EXPECT_EQ(cache.GetStats().hits, hits_before + 1);  // carol still resident
+
+  // A list that alone exceeds the whole budget is served once from the
+  // decode just paid for, but never admitted (and not re-decoded later).
+  HotListCache::Options tiny;
+  tiny.max_bytes = 16;
+  tiny.admit_after = 1;
+  HotListCache small(tiny);
+  EXPECT_NE(small.Get(carol), nullptr);  // the already-paid decode
+  EXPECT_EQ(small.GetStats().entries, 0u);
+  EXPECT_EQ(small.Get(carol), nullptr);  // rejected, no repeated decode
+}
+
+TEST(HotListCacheTest, WalCommitAndManualAdvanceFlushTheCache) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const PackedDeweyList* carol = system->index().Find("carol");
+  ASSERT_NE(carol, nullptr);
+
+  HotListCache::Options options;
+  options.max_bytes = 64 << 20;
+  options.admit_after = 2;
+  HotListCache cache(options);
+  EXPECT_EQ(cache.Get(carol), nullptr);
+  std::shared_ptr<const std::vector<DeweyId>> pinned = cache.Get(carol);
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+
+  // An updater commit (any WAL commit in the process) advances the
+  // epoch: the next Get flushes everything, and the list must re-earn
+  // admission from zero sightings.
+  WalCounters::Instance().commits.fetch_add(1, std::memory_order_relaxed);
+  EXPECT_EQ(cache.Get(carol), nullptr);
+  HotListCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  // The copy handed out before the flush stays valid (pinned).
+  EXPECT_EQ(pinned->size(), carol->size());
+
+  // Re-admit, then flush explicitly via AdvanceEpoch.
+  ASSERT_NE(cache.Get(carol), nullptr);
+  cache.AdvanceEpoch();
+  EXPECT_EQ(cache.GetStats().invalidations, 2u);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_EQ(cache.Get(carol), nullptr);  // re-earning again
+}
+
+TEST(QueryServiceTest, HotListServingMatchesColdResultsAndReports) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  QueryServiceOptions options;
+  options.pool.workers = 2;
+  options.enable_cache = false;  // every Search runs the engine
+  options.hot_list_bytes = 64 << 20;
+  options.hot_list_admit_after = 2;
+  QueryService service(system.get(), options);
+
+  const std::vector<std::string> query = {"alpha", "carol"};
+  Result<QueryResponse> cold = service.Search(query);
+  ASSERT_TRUE(cold.ok());
+  // Run past the admission threshold so later queries serve "carol" (and
+  // "alpha") from decoded hot lists.
+  for (int i = 0; i < 3; ++i) {
+    Result<QueryResponse> hot = service.Search(query);
+    ASSERT_TRUE(hot.ok());
+    EXPECT_FALSE(hot->cache_hit);
+    // The hot path must be invisible in the answer AND in the paper's
+    // algorithm-level counters.
+    EXPECT_EQ(hot->result.nodes, cold->result.nodes);
+    EXPECT_EQ(hot->result.stats.match_ops.load(),
+              cold->result.stats.match_ops.load());
+  }
+  HotListCache::Stats stats = service.hot_list_stats();
+  EXPECT_GE(stats.admitted, 1u);
+  EXPECT_GE(stats.hits, 1u);
+  const std::string report = service.MetricsReport();
+  EXPECT_NE(report.find("hot_lists:"), std::string::npos) << report;
+
+  // InvalidateCache drops decoded lists along with cached results; the
+  // answers must be unaffected.
+  service.InvalidateCache();
+  EXPECT_GE(service.hot_list_stats().invalidations, 1u);
+  Result<QueryResponse> after = service.Search(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->result.nodes, cold->result.nodes);
 }
 
 }  // namespace

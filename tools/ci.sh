@@ -50,6 +50,13 @@ if [ "$run_slow" -eq 1 ]; then
   echo "==> [crash-recovery] WAL + crash-point sweep stage (release build)"
   ctest --test-dir build/release -R '(Wal|StagedStore|CrashRecovery)' \
     --output-on-failure
+  # Decode-kernel portability: the whole fast suite again with the batch
+  # decoders pinned to the scalar kernel — what a non-x86 or pre-SSE4
+  # machine runs unconditionally. Any SIMD-only behavior difference
+  # (result sets, match-op counts, corruption handling) fails here.
+  echo "==> [scalar-decode] forced-scalar decode stage (release build)"
+  XK_FORCE_SCALAR_DECODE=1 ctest --test-dir build/release \
+    -LE 'slow|bench-smoke' --output-on-failure
   echo "==> [slow] long-run fuzz/stress stage (ctest -L slow, release build)"
   ctest --test-dir build/release -L slow --output-on-failure
   echo "==> [bench-smoke] benchmark smoke stage (ctest -L bench-smoke)"
