@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <deque>
 #include <fstream>
+#include <future>
 #include <map>
 #include <memory>
 #include <set>
@@ -18,6 +19,7 @@
 #include "engine/disk_searcher.h"
 #include "engine/xksearch.h"
 #include "gen/random_tree.h"
+#include "serve/query_service.h"
 #include "serve/thread_pool.h"
 #include "shard/scatter_gather.h"
 #include "shard/sharded_collection.h"
@@ -593,6 +595,9 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
   }
 
   // --- Queries. ---
+  // Every sampled query is also remembered for the cross-query batch
+  // stage below, which replays them concurrently through a QueryService.
+  std::vector<std::vector<std::string>> sampled_queries;
   for (size_t q = 0; q < options.queries_per_collection; ++q) {
     std::vector<std::string> keywords;
     const size_t k = static_cast<size_t>(
@@ -611,6 +616,7 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
         keywords.push_back(vocab[rng.Uniform(vocab.size())]);
       }
     }
+    sampled_queries.push_back(keywords);
 
     CaseContext ctx{seed, &report, &keywords};
 
@@ -1084,6 +1090,175 @@ FuzzReport RunFuzzCase(uint64_t seed, const FuzzOptions& options) {
       ctx.Check("disk/chunked-recovery", engine.Search(keywords, cso),
                 *oracle_slca);
     }
+  }
+
+  // --- Cross-query batch stage: the collection's sampled queries,
+  // submitted batch_clients times each through a QueryService whose
+  // batch window is open. Identical submissions coalesce under
+  // single-flight; distinct queries land in one batch sharing one
+  // decoded-list provider and one vectored cold-page prefetch. Batching
+  // is execution-time only, so every response must reproduce the
+  // sequential unbatched engine run exactly: same nodes, same
+  // match_ops, same results counter. One worker on purpose — the fuzz
+  // pools are deliberately tiny, and serialized execution keeps the pin
+  // demand identical to the sequential stages while the batcher,
+  // coalescing and prefetch still run fully concurrently with it.
+  if (options.batch_clients > 0 && !sampled_queries.empty()) {
+    struct BatchRef {
+      std::vector<DeweyId> nodes;
+      uint64_t match_ops = 0;
+      uint64_t results = 0;
+      bool ok = false;
+    };
+
+    serve::QueryServiceOptions qso;
+    qso.pool.workers = 1;
+    qso.pool.queue_capacity =
+        sampled_queries.size() * options.batch_clients + 8;
+    qso.enable_cache = false;
+    qso.single_flight = true;
+    qso.batch_window_us = 500;
+    qso.batch_max = sampled_queries.size() * options.batch_clients;
+    serve::QueryService service(&engine, qso);
+
+    // The stage submits each query in its canonical form (sorted,
+    // deduplicated, normalized keywords — none of which changes the
+    // answer). Raw forms would make the stats check nondeterministic:
+    // single-flight coalesces every raw form of one canonical key onto
+    // whichever of them happened to lead, and a duplicated keyword
+    // costs its raw run extra match_ops that a deduplicated sibling's
+    // run never performs. Raw-form answer invariance is already covered
+    // by the in-memory differential stages above.
+    std::vector<std::vector<std::string>> canonical(sampled_queries.size());
+    for (size_t i = 0; i < sampled_queries.size(); ++i) {
+      canonical[i] =
+          service.MakeCacheKey(sampled_queries[i], SearchOptions()).keywords;
+    }
+    auto make_refs = [&](const SearchOptions& so) {
+      std::vector<BatchRef> refs(sampled_queries.size());
+      for (size_t i = 0; i < sampled_queries.size(); ++i) {
+        Result<SearchResult> r = engine.Search(canonical[i], so);
+        if (!r.ok()) {
+          CaseContext bctx{seed, &report, &sampled_queries[i]};
+          bctx.Diverge("batch reference run failed: " + r.status().ToString());
+          continue;
+        }
+        refs[i].nodes = r->nodes;
+        refs[i].match_ops = r->stats.match_ops.load();
+        refs[i].results = r->stats.results.load();
+        refs[i].ok = true;
+      }
+      return refs;
+    };
+
+    using PendingResponse =
+        std::pair<size_t, std::future<Result<serve::QueryResponse>>>;
+    auto submit_all = [&](const SearchOptions& so) {
+      std::vector<PendingResponse> submitted;
+      for (size_t c = 0; c < options.batch_clients; ++c) {
+        for (size_t i = 0; i < sampled_queries.size(); ++i) {
+          submitted.emplace_back(i, service.Submit(canonical[i], so));
+        }
+      }
+      return submitted;
+    };
+
+    // Submits every query batch_clients times, interleaved, and checks
+    // each response against its unbatched reference.
+    auto run_batched = [&](const char* label, const SearchOptions& so,
+                           const std::vector<BatchRef>& refs) {
+      std::vector<PendingResponse> submitted = submit_all(so);
+      for (auto& [i, fut] : submitted) {
+        Result<serve::QueryResponse> resp = fut.get();
+        if (!refs[i].ok) continue;
+        CaseContext bctx{seed, &report, &sampled_queries[i]};
+        ++report.cases;
+        if (!resp.ok()) {
+          bctx.Diverge(std::string(label) +
+                       " failed: " + resp.status().ToString());
+          continue;
+        }
+        if (resp->result.nodes != refs[i].nodes) {
+          bctx.Diverge(std::string(label) + " emitted " +
+                       IdsToString(resp->result.nodes) + ", unbatched = " +
+                       IdsToString(refs[i].nodes));
+          continue;
+        }
+        const uint64_t got_match = resp->result.stats.match_ops.load();
+        const uint64_t got_results = resp->result.stats.results.load();
+        if (got_match != refs[i].match_ops || got_results != refs[i].results) {
+          bctx.Diverge(std::string(label) + " stats parity broke: match_ops " +
+                       std::to_string(got_match) + " vs " +
+                       std::to_string(refs[i].match_ops) + ", results " +
+                       std::to_string(got_results) + " vs " +
+                       std::to_string(refs[i].results));
+        }
+      }
+    };
+
+    {
+      SearchOptions so;
+      run_batched("batched/mem", so, make_refs(so));
+    }
+    if (options.with_disk) {
+      SearchOptions so;
+      so.use_disk_index = true;
+      const std::vector<BatchRef> disk_refs = make_refs(so);
+      run_batched("batched/disk", so, disk_refs);
+
+      if (options.with_faults) {
+        // Fault round: armed stores under a full concurrent batch —
+        // faults can now land in the batch prefetch as well as in the
+        // queries themselves. Each response is either the exact
+        // unbatched answer or the injected IoError, never a wrong
+        // answer, and nothing leaks a pin.
+        for (FaultInjectingPageStore* w : wrappers) {
+          w->ClearFaults();
+          w->FailReadsWithProbability(options.fault_probability,
+                                      options.faults_per_round);
+          w->Arm();
+        }
+        std::vector<PendingResponse> submitted = submit_all(so);
+        for (auto& [i, fut] : submitted) {
+          Result<serve::QueryResponse> resp = fut.get();
+          if (!disk_refs[i].ok) continue;
+          CaseContext bctx{seed, &report, &sampled_queries[i]};
+          ++report.cases;
+          if (resp.ok()) {
+            ++report.fault_survivals;
+            if (!SameSet(resp->result.nodes, disk_refs[i].nodes)) {
+              bctx.Diverge("batched/faults returned wrong answer " +
+                           IdsToString(resp->result.nodes) + ", unbatched = " +
+                           IdsToString(disk_refs[i].nodes));
+            }
+          } else {
+            ++report.clean_fault_errors;
+            if (!resp.status().IsIoError()) {
+              bctx.Diverge("batched/faults failed with non-IoError: " +
+                           resp.status().ToString());
+            }
+          }
+        }
+        for (FaultInjectingPageStore* w : wrappers) {
+          w->Disarm();
+          w->ClearFaults();
+        }
+        const uint64_t il_pins =
+            engine.disk_index()->il_pool()->DebugTotalPins();
+        const uint64_t scan_pins =
+            engine.disk_index()->scan_pool()->DebugTotalPins();
+        if (il_pins != 0 || scan_pins != 0) {
+          CaseContext bctx{seed, &report, &sampled_queries[0]};
+          bctx.Diverge(
+              "batched/faults leaked pins: il=" + std::to_string(il_pins) +
+              " scan=" + std::to_string(scan_pins));
+        }
+        // Recovery: the same concurrent batch, faults disarmed, must
+        // reproduce the unbatched answers again.
+        run_batched("batched/recovery", so, disk_refs);
+      }
+    }
+    service.Shutdown();
   }
 
   if (options.crash_rounds > 0) {

@@ -1,0 +1,165 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "storage/wal.h"
+
+namespace xksearch {
+namespace serve {
+
+BatchListProvider::BatchListProvider(DecodedListProvider* base,
+                                     RelaxedCounter* shared_decodes)
+    : base_(base), shared_decodes_(shared_decodes), epoch_(CurrentEpoch()) {}
+
+uint64_t BatchListProvider::CurrentEpoch() const {
+  return WalCounters::Instance().commits.load(std::memory_order_relaxed);
+}
+
+void BatchListProvider::AddDemand(const PackedDeweyList* list) {
+  if (list == nullptr) return;
+  ++demand_[list];
+}
+
+std::shared_ptr<const std::vector<DeweyId>> BatchListProvider::Get(
+    const PackedDeweyList* list) {
+  if (list == nullptr) return nullptr;
+  // The long-lived provider first: a hot list is already decoded and its
+  // sighting counters must advance exactly as they would unbatched.
+  if (base_ != nullptr) {
+    std::shared_ptr<const std::vector<DeweyId>> hot = base_->Get(list);
+    if (hot != nullptr) return hot;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t epoch = CurrentEpoch();
+  if (epoch != epoch_) {
+    // A WAL commit landed mid-batch: earlier decodes mirror a dead arena
+    // generation. Members already holding copies keep them pinned; from
+    // here on every Get sees only current-arena data.
+    decoded_.clear();
+    epoch_ = epoch;
+    ++stats_.epoch_drops;
+  }
+  const auto hit = decoded_.find(list);
+  if (hit != decoded_.end()) {
+    ++stats_.shared_hits;
+    if (shared_decodes_ != nullptr) ++*shared_decodes_;
+    return hit->second;
+  }
+  const auto demand = demand_.find(list);
+  if (demand == demand_.end() || demand->second < 2) {
+    // Only one member wants this list: decoding it here would trade the
+    // packed probe path for a full Materialize nobody shares.
+    ++stats_.declines;
+    return nullptr;
+  }
+  // First member to reach a shared list pays the one decode; holding mu_
+  // across Materialize serializes racing members onto that single copy.
+  auto decoded =
+      std::make_shared<const std::vector<DeweyId>>(list->Materialize());
+  decoded_.emplace(list, decoded);
+  ++stats_.decodes;
+  return decoded;
+}
+
+BatchListProvider::Stats BatchListProvider::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t BatchListProvider::decoded_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return decoded_.size();
+}
+
+Batcher::Batcher(const Options& options, ThreadPool* pool,
+                 DecodedListProvider* base,
+                 std::function<void(const std::vector<Item>&)> on_batch,
+                 RelaxedCounter* shared_decodes)
+    : options_(options),
+      pool_(pool),
+      base_(base),
+      on_batch_(std::move(on_batch)),
+      shared_decodes_(shared_decodes) {
+  collector_ = std::thread([this] { CollectorLoop(); });
+}
+
+Batcher::~Batcher() { Stop(); }
+
+Status Batcher::Enqueue(Item item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::Unavailable("batcher is stopped");
+    if (pending_.size() >= options_.queue_capacity) {
+      return Status::Unavailable("batch queue is full");
+    }
+    pending_.push_back(std::move(item));
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void Batcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (collector_.joinable()) collector_.join();
+}
+
+void Batcher::CollectorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // First query seen: hold the window open for companions, but a full
+    // batch (or Stop) dispatches immediately.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(options_.window_us);
+    while (!stopping_ && pending_.size() < options_.batch_max) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+    std::vector<Item> batch;
+    const size_t take = std::min(pending_.size(), options_.batch_max);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    lock.unlock();
+    RunBatch(std::move(batch));
+    lock.lock();
+    // On Stop, loop around: the wait predicate falls through while
+    // pending_ still has members, so everything admitted is dispatched
+    // before the collector exits.
+  }
+}
+
+void Batcher::RunBatch(std::vector<Item> batch) {
+  if (on_batch_) on_batch_(batch);
+  auto provider = std::make_shared<BatchListProvider>(base_, shared_decodes_);
+  for (const Item& item : batch) {
+    for (const PackedDeweyList* list : item.lists) provider->AddDemand(list);
+  }
+  for (Item& item : batch) {
+    // Copy (not move) the closure into the pool task so the inline
+    // fallback below still has a callable if Submit rejects.
+    auto run = item.run;
+    const Status submitted =
+        pool_->Submit([provider, run] { run(provider.get()); });
+    if (!submitted.ok()) {
+      // The member was admitted already — dispatch must not become a
+      // second rejection point. Run it here on the collector.
+      item.run(provider.get());
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace xksearch

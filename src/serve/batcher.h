@@ -1,0 +1,167 @@
+#ifndef XKSEARCH_SERVE_BATCHER_H_
+#define XKSEARCH_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "dewey/packed_list.h"
+#include "engine/search_types.h"
+#include "serve/thread_pool.h"
+#include "storage/page.h"
+
+namespace xksearch {
+namespace serve {
+
+/// \brief Per-batch decoded-list provider: the sharing surface of one
+/// batch of concurrent queries.
+///
+/// Query preparation asks it (through the ordinary SearchOptions
+/// hot_lists plumbing) once per packed list. Three outcomes:
+///   1. The underlying long-lived provider (the service's HotListCache)
+///      answers — it is consulted first on every Get, so its sighting
+///      counts advance exactly as they would unbatched and lists that
+///      graduated to hot are served from it, not re-decoded per batch.
+///   2. The list is wanted by >= 2 batch members (the demand census the
+///      batcher takes before dispatch): the first Get pays one
+///      Materialize under the provider mutex and every later Get —
+///      including from other members on other workers — shares that
+///      read-only vector. Exactly one decode per shared list per batch.
+///   3. A single-member list declines (nullptr), leaving the query on
+///      the packed probe path: batch sharing must never make a lone
+///      Indexed-Lookup query fully decode a list it would only probe a
+///      few entries of.
+///
+/// Sharing is read-only decoded blocks; each query keeps its own cursors
+/// and its own pins (PreparedQuery::pinned holds the shared_ptr), which
+/// is why batched results, match_ops and per-query counters are
+/// identical to unbatched execution.
+///
+/// A WAL commit between members would make earlier decodes mirror a
+/// dead arena generation, so every Get checks the process-wide commit
+/// epoch and drops the decoded map on a change — the same invalidation
+/// rule as HotListCache. Members already holding copies keep them
+/// pinned; later Gets decode fresh against the current arena.
+class BatchListProvider : public DecodedListProvider {
+ public:
+  /// `base` (may be null) is the longer-lived provider layered under
+  /// this batch, consulted first on every Get. `shared_decodes` (may be
+  /// null) is bumped once per Get served from a batch-mate's decode —
+  /// each tick is one Materialize the batch avoided repeating.
+  explicit BatchListProvider(DecodedListProvider* base,
+                             RelaxedCounter* shared_decodes = nullptr);
+
+  /// Registers one batch member's interest in `list` (pre-dispatch
+  /// demand census; not thread-safe against Get).
+  void AddDemand(const PackedDeweyList* list);
+
+  std::shared_ptr<const std::vector<DeweyId>> Get(
+      const PackedDeweyList* list) override;
+
+  struct Stats {
+    uint64_t decodes = 0;      // lists materialized by this batch
+    uint64_t shared_hits = 0;  // Gets served from a batch-mate's decode
+    uint64_t declines = 0;     // single-member lists left packed
+    uint64_t epoch_drops = 0;  // decoded map dropped on a WAL commit
+  };
+  Stats GetStats() const;
+  /// Test hook: currently resident decoded lists.
+  size_t decoded_entries() const;
+
+ private:
+  uint64_t CurrentEpoch() const;
+
+  DecodedListProvider* const base_;
+  RelaxedCounter* const shared_decodes_;
+  mutable std::mutex mu_;
+  uint64_t epoch_;
+  std::unordered_map<const PackedDeweyList*, uint32_t> demand_;
+  std::unordered_map<const PackedDeweyList*,
+                     std::shared_ptr<const std::vector<DeweyId>>>
+      decoded_;
+  Stats stats_;
+};
+
+/// \brief Bounded-window batch scheduler: groups admitted queries so
+/// each group shares one BatchListProvider and one cold-page prefetch.
+///
+/// A dedicated collector thread waits for the first pending query, then
+/// collects for up to `window_us` (or until `batch_max` are pending) —
+/// an idle service adds zero latency, a loaded one at most the window.
+/// Each formed batch is announced through `on_batch` (the serving layer
+/// records size metrics and issues the batch's vectored cold-page
+/// prefetch there), then every member runs on the worker pool with the
+/// shared provider; a full pool queue falls back to running the member
+/// inline on the collector (the member was already admitted — dispatch
+/// must not turn into a second rejection point).
+class Batcher {
+ public:
+  struct Options {
+    /// Collection window after the first pending query, microseconds.
+    uint64_t window_us = 100;
+    /// Most members per batch; a full batch dispatches immediately.
+    size_t batch_max = 16;
+    /// Admission bound of the pending queue (kUnavailable beyond it).
+    size_t queue_capacity = 1024;
+  };
+
+  struct Item {
+    /// Distinct packed lists this query will ask the provider about
+    /// (the demand census input). Empty for disk-only queries.
+    std::vector<const PackedDeweyList*> lists;
+    /// Predicted cold scan-leaf pages, merged per batch and fetched with
+    /// one vectored read before the members run. Empty when the backend
+    /// has no disk index.
+    std::vector<PageId> pages;
+    /// Executes the query end-to-end with the batch's shared provider.
+    std::function<void(DecodedListProvider* provider)> run;
+  };
+
+  /// `pool` runs batch members; `base` and `shared_decodes` are handed
+  /// to every per-batch provider (see BatchListProvider); `on_batch` is
+  /// called with each formed batch before any member is dispatched.
+  Batcher(const Options& options, ThreadPool* pool, DecodedListProvider* base,
+          std::function<void(const std::vector<Item>&)> on_batch,
+          RelaxedCounter* shared_decodes = nullptr);
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Admits one query; kUnavailable when stopped or at queue_capacity.
+  Status Enqueue(Item item);
+
+  /// Dispatches everything pending, then joins the collector. Members
+  /// already handed to the pool keep running (the pool drains them on
+  /// its own Stop). Idempotent.
+  void Stop();
+
+ private:
+  void CollectorLoop();
+  void RunBatch(std::vector<Item> batch);
+
+  const Options options_;
+  ThreadPool* const pool_;
+  DecodedListProvider* const base_;
+  const std::function<void(const std::vector<Item>&)> on_batch_;
+  RelaxedCounter* const shared_decodes_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> pending_;
+  bool stopping_ = false;
+  std::thread collector_;
+};
+
+}  // namespace serve
+}  // namespace xksearch
+
+#endif  // XKSEARCH_SERVE_BATCHER_H_

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "engine/query_executor.h"
 #include "index/tokenizer.h"
 #include "storage/wal.h"
 
@@ -13,9 +14,7 @@ namespace serve {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-uint64_t Nanos(Clock::duration d) {
+uint64_t Nanos(std::chrono::steady_clock::duration d) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
 }
@@ -64,20 +63,57 @@ QueryService::QueryService(const XKSearch* engine, const DiskSearcher* searcher,
                               : options.slca_chunk.workers;
     chunk_budget_ = std::make_unique<ConcurrencyBudget>(tokens);
   }
+  if (options.batch_window_us > 0) {
+    Batcher::Options batch;
+    batch.window_us = options.batch_window_us;
+    batch.batch_max = std::max<size_t>(1, options.batch_max);
+    batch.queue_capacity = options.pool.queue_capacity;
+    batcher_ = std::make_unique<Batcher>(
+        batch, &pool_, hot_lists_.get(),
+        [this](const std::vector<Batcher::Item>& formed) { OnBatch(formed); },
+        &metrics_.shared_decodes);
+  }
 }
 
 QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Shutdown() {
   stopped_.store(true, std::memory_order_relaxed);
+  // Order matters: the batcher first (it dispatches everything admitted
+  // into the pool), then the pool (drains those plus directly-submitted
+  // work). Flights retire as their leaders complete during the drain.
+  if (batcher_ != nullptr) batcher_->Stop();
   pool_.Stop(/*drain=*/true);
+  // Defensive sweep: with every worker joined no leader can retire a
+  // flight anymore, so any entry still here would strand its followers'
+  // futures forever. There should be none (every admitted leader ran or
+  // was aborted), but a stuck future is the worst failure mode a serving
+  // layer can hand a caller, so fail them loudly instead.
+  std::vector<Flight::Follower> orphans;
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    for (auto& [key, flight] : flights_) {
+      for (Flight::Follower& follower : flight->followers) {
+        orphans.push_back(std::move(follower));
+      }
+    }
+    flights_.clear();
+  }
+  for (Flight::Follower& follower : orphans) {
+    ++metrics_.failed;
+    follower.promise->set_value(
+        Status::Unavailable("query service shut down mid-flight"));
+  }
 }
 
 Result<SearchResult> QueryService::RunQuery(
-    const std::vector<std::string>& keywords,
-    const SearchOptions& options) const {
+    const std::vector<std::string>& keywords, const SearchOptions& options,
+    DecodedListProvider* provider) const {
   SearchOptions exec_options = options;
-  if (hot_lists_ != nullptr) exec_options.hot_lists = hot_lists_.get();
+  // The batch's provider when one was handed down (it consults the
+  // hot-list cache underneath), the long-lived cache otherwise.
+  exec_options.hot_lists =
+      provider != nullptr ? provider : hot_lists_.get();
   if (chunk_pool_ != nullptr) {
     // Inject the service's chunk executor; the shared budget caps the
     // extra workers across every concurrent query and (for a sharded
@@ -122,6 +158,171 @@ QueryCacheKey QueryService::MakeCacheKey(
   return key;
 }
 
+std::vector<PageId> QueryService::PredictColdPages(
+    const std::vector<std::string>& normalized,
+    const SearchOptions& options) const {
+  std::vector<PageId> pages;
+  const DiskIndex* disk = nullptr;
+  if (searcher_ != nullptr) {
+    disk = searcher_->index();
+  } else if (engine_ != nullptr && options.use_disk_index) {
+    disk = engine_->disk_index();
+  }
+  // Sharded backends are skipped: each shard has its own pools and the
+  // scatter path does its own per-shard readahead.
+  if (disk == nullptr) return pages;
+  for (const std::string& kw : normalized) {
+    const DiskIndex::TermInfo* info = disk->FindTerm(kw);
+    if (info == nullptr) continue;
+    // One B+tree descent predicts where this term's scan run starts and
+    // roughly how many leaves it spans; a misprediction only wastes a
+    // prefetched page, never changes what the query reads.
+    Result<std::pair<PageId, size_t>> predicted =
+        disk->PredictScanLeaves(info->id, info->frequency, nullptr);
+    if (!predicted.ok()) continue;
+    for (size_t i = 0; i < predicted->second; ++i) {
+      pages.push_back(predicted->first + static_cast<PageId>(i));
+    }
+  }
+  return pages;
+}
+
+void QueryService::OnBatch(const std::vector<Batcher::Item>& batch) {
+  ++metrics_.batches;
+  metrics_.batched_queries += batch.size();
+  metrics_.batch_size.Record(batch.size());
+  std::vector<PageId> pages;
+  for (const Batcher::Item& item : batch) {
+    pages.insert(pages.end(), item.pages.begin(), item.pages.end());
+  }
+  if (pages.empty()) return;
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  const DiskIndex* disk =
+      engine_ != nullptr ? engine_->disk_index()
+      : searcher_ != nullptr ? searcher_->index()
+                             : nullptr;
+  if (disk == nullptr) return;
+  BufferPool* pool = disk->scan_pool();
+  // FetchMany pins every page it returns; cap the batch well under the
+  // pool so the prefetch can never exhaust it for the queries behind it.
+  const size_t cap = std::max<size_t>(1, pool->capacity() / 2);
+  if (pages.size() > cap) pages.resize(cap);
+  Result<std::vector<PageRef>> warmed =
+      pool->FetchMany(std::span<const PageId>(pages), nullptr);
+  // Pins drop immediately — the point was the one vectored read that
+  // made the pages resident. Errors are swallowed on purpose: a failed
+  // prefetch page will be re-read (and its error surfaced, if real) by
+  // whichever query actually needs it.
+  (void)warmed;
+}
+
+void QueryService::AbortFlight(const std::shared_ptr<Job>& job,
+                               const Status& status) {
+  std::vector<Flight::Follower> followers;
+  if (job->in_flight) {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    auto it = flights_.find(job->key);
+    if (it != flights_.end()) {
+      followers = std::move(it->second->followers);
+      flights_.erase(it);
+    }
+  }
+  ++metrics_.rejected;
+  job->promise->set_value(status);
+  for (Flight::Follower& follower : followers) {
+    ++metrics_.rejected;
+    follower.promise->set_value(status);
+  }
+}
+
+void QueryService::ExecuteJob(const std::shared_ptr<Job>& job,
+                              DecodedListProvider* provider) {
+  const Clock::time_point picked_up = Clock::now();
+  metrics_.queue_latency.Record(Nanos(picked_up - job->submitted));
+  bool leader_resolved = false;
+  if (picked_up >= job->deadline) {
+    ++metrics_.deadline_exceeded;
+    job->promise->set_value(
+        Status::DeadlineExceeded("request deadline passed while queued"));
+    if (!job->in_flight) return;
+    {
+      std::lock_guard<std::mutex> lock(flight_mu_);
+      auto it = flights_.find(job->key);
+      if (it == flights_.end()) return;
+      if (it->second->followers.empty()) {
+        // Nobody else is waiting: retire the flight and skip the work.
+        flights_.erase(it);
+        return;
+      }
+    }
+    // Followers attached before the deadline fired; they carry their own
+    // (possibly later) deadlines, so the execution still happens — just
+    // with the leader's promise already resolved.
+    leader_resolved = true;
+  }
+  if (options_.synthetic_backend_latency.count() > 0) {
+    std::this_thread::sleep_for(options_.synthetic_backend_latency);
+  }
+  Result<SearchResult> result =
+      RunQuery(job->keywords, job->options, provider);
+
+  // Publish atomically: the cache insert and the flight retirement
+  // happen under one flight_mu_ hold, so a concurrent submitter either
+  // hits the cache or attaches to this flight — there is no instant
+  // where the result exists but neither path can see it (the lookup/
+  // insert race the pre-single-flight service had).
+  std::vector<Flight::Follower> followers;
+  if (job->in_flight || (options_.enable_cache && result.ok())) {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    if (options_.enable_cache && result.ok()) cache_.Insert(job->key, *result);
+    if (job->in_flight) {
+      auto it = flights_.find(job->key);
+      if (it != flights_.end()) {
+        followers = std::move(it->second->followers);
+        flights_.erase(it);
+      }
+    }
+  }
+
+  if (!result.ok()) {
+    if (!leader_resolved) {
+      ++metrics_.failed;
+      if (result.status().IsIoError()) ++metrics_.io_errors;
+      job->promise->set_value(result.status());
+    }
+    for (Flight::Follower& follower : followers) {
+      ++metrics_.failed;
+      if (result.status().IsIoError()) ++metrics_.io_errors;
+      follower.promise->set_value(result.status());
+    }
+    return;
+  }
+
+  // One engine execution happened, so the aggregate advances once no
+  // matter how many requests this answer fans out to.
+  metrics_.engine_stats += result->stats;
+  for (Flight::Follower& follower : followers) {
+    ++metrics_.completed;
+    QueryResponse response;
+    response.result = *result;
+    response.cache_hit = false;
+    response.coalesced = true;
+    response.latency = Clock::now() - follower.submitted;
+    metrics_.request_latency.Record(Nanos(response.latency));
+    follower.promise->set_value(std::move(response));
+  }
+  if (!leader_resolved) {
+    ++metrics_.completed;
+    QueryResponse response;
+    response.result = result.MoveValueUnsafe();
+    response.cache_hit = false;
+    response.latency = Clock::now() - job->submitted;
+    metrics_.request_latency.Record(Nanos(response.latency));
+    job->promise->set_value(std::move(response));
+  }
+}
+
 std::future<Result<QueryResponse>> QueryService::Submit(
     const std::vector<std::string>& keywords, const SearchOptions& options) {
   return SubmitWithTimeout(keywords, options, options_.default_timeout);
@@ -131,7 +332,7 @@ std::future<Result<QueryResponse>> QueryService::SubmitWithTimeout(
     const std::vector<std::string>& keywords, const SearchOptions& options,
     std::chrono::milliseconds timeout) {
   const Clock::time_point submitted = Clock::now();
-  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  auto promise = std::make_shared<ResponsePromise>();
   std::future<Result<QueryResponse>> future = promise->get_future();
 
   if (stopped_.load(std::memory_order_relaxed)) {
@@ -140,59 +341,77 @@ std::future<Result<QueryResponse>> QueryService::SubmitWithTimeout(
     return future;
   }
 
+  // The canonical key is the identity for the result cache, for
+  // single-flight coalescing, and for the batcher's posting-list census;
+  // skip the normalization work only when nobody needs it.
+  const bool keyed =
+      options_.enable_cache || options_.single_flight || batcher_ != nullptr;
   QueryCacheKey key;
-  if (options_.enable_cache) {
-    key = MakeCacheKey(keywords, options);
-    if (std::optional<SearchResult> hit = cache_.Lookup(key)) {
-      ++metrics_.requests;
-      ++metrics_.completed;
-      ++metrics_.cache_hits;
-      QueryResponse response;
-      response.result = std::move(*hit);
-      response.cache_hit = true;
-      response.latency = Clock::now() - submitted;
-      metrics_.request_latency.Record(Nanos(response.latency));
-      promise->set_value(std::move(response));
-      return future;
+  if (keyed) key = MakeCacheKey(keywords, options);
+
+  bool in_flight = false;
+  if (options_.enable_cache || options_.single_flight) {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    if (options_.enable_cache) {
+      if (std::optional<SearchResult> hit = cache_.Lookup(key)) {
+        ++metrics_.requests;
+        ++metrics_.completed;
+        ++metrics_.cache_hits;
+        QueryResponse response;
+        response.result = std::move(*hit);
+        response.cache_hit = true;
+        response.latency = Clock::now() - submitted;
+        metrics_.request_latency.Record(Nanos(response.latency));
+        promise->set_value(std::move(response));
+        return future;
+      }
+    }
+    if (options_.single_flight) {
+      auto it = flights_.find(key);
+      if (it != flights_.end()) {
+        // Identical query already executing: ride it. The follower
+        // performs no engine work of its own — not even a dispatch.
+        it->second->followers.push_back(Flight::Follower{promise, submitted});
+        ++metrics_.requests;
+        ++metrics_.coalesced_queries;
+        return future;
+      }
+      flights_.emplace(key, std::make_shared<Flight>());
+      in_flight = true;
     }
   }
 
-  const Clock::time_point deadline = timeout.count() > 0
-                                         ? submitted + timeout
-                                         : Clock::time_point::max();
-  Status admitted = pool_.Submit([this, promise, keywords, options,
-                                  key = std::move(key), submitted, deadline] {
-    const Clock::time_point picked_up = Clock::now();
-    metrics_.queue_latency.Record(Nanos(picked_up - submitted));
-    if (picked_up >= deadline) {
-      ++metrics_.deadline_exceeded;
-      promise->set_value(
-          Status::DeadlineExceeded("request deadline passed while queued"));
-      return;
+  auto job = std::make_shared<Job>();
+  job->keywords = keywords;
+  job->options = options;
+  job->key = std::move(key);
+  job->in_flight = in_flight;
+  job->promise = promise;
+  job->submitted = submitted;
+  job->deadline = timeout.count() > 0 ? submitted + timeout
+                                      : Clock::time_point::max();
+
+  Status admitted;
+  if (batcher_ != nullptr) {
+    Batcher::Item item;
+    // The census: which packed lists will this query ask the provider
+    // about? Only meaningful for the in-memory packed path — disk and
+    // sharded backends contribute no lists (and an empty census simply
+    // means nothing is shared on their behalf).
+    if (engine_ != nullptr && !job->options.use_disk_index &&
+        job->options.use_packed_lists) {
+      item.lists = ResolvePackedLists(engine_->index(), job->key.keywords);
     }
-    if (options_.synthetic_backend_latency.count() > 0) {
-      std::this_thread::sleep_for(options_.synthetic_backend_latency);
-    }
-    Result<SearchResult> result = RunQuery(keywords, options);
-    if (!result.ok()) {
-      ++metrics_.failed;
-      if (result.status().IsIoError()) ++metrics_.io_errors;
-      promise->set_value(result.status());
-      return;
-    }
-    metrics_.engine_stats += result->stats;
-    if (options_.enable_cache) cache_.Insert(key, *result);
-    ++metrics_.completed;
-    QueryResponse response;
-    response.result = result.MoveValueUnsafe();
-    response.cache_hit = false;
-    response.latency = Clock::now() - submitted;
-    metrics_.request_latency.Record(Nanos(response.latency));
-    promise->set_value(std::move(response));
-  });
+    item.pages = PredictColdPages(job->key.keywords, job->options);
+    item.run = [this, job](DecodedListProvider* provider) {
+      ExecuteJob(job, provider);
+    };
+    admitted = batcher_->Enqueue(std::move(item));
+  } else {
+    admitted = pool_.Submit([this, job] { ExecuteJob(job, nullptr); });
+  }
   if (!admitted.ok()) {
-    ++metrics_.rejected;
-    promise->set_value(std::move(admitted));
+    AbortFlight(job, admitted);
     return future;
   }
   ++metrics_.requests;

@@ -5,12 +5,15 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "engine/disk_searcher.h"
 #include "engine/xksearch.h"
+#include "serve/batcher.h"
 #include "serve/hot_list_cache.h"
 #include "serve/metrics.h"
 #include "serve/query_cache.h"
@@ -36,6 +39,28 @@ struct QueryServiceOptions {
   /// Sightings of a term before its list is decoded into the hot-list
   /// cache (admission filter; see HotListCache::Options::admit_after).
   uint32_t hot_list_admit_after = 2;
+  /// Single-flight coalescing: a request whose canonical cache key
+  /// matches an identical query already executing attaches to that
+  /// execution instead of dispatching a duplicate, and the finished
+  /// result is published to the cache and to every attached request
+  /// atomically — closing the thundering-herd window where N identical
+  /// cold queries all miss the cache and all execute. Pure execution
+  /// config (followers receive the exact result the leader computed), so
+  /// like shard_exec it never enters the cache key. Works with the
+  /// result cache disabled; coalesced responses then simply bypass it.
+  bool single_flight = true;
+  /// Batch collection window for cache-miss dispatch, microseconds.
+  /// 0 (the default) dispatches each admitted query straight to the
+  /// worker pool, exactly as before. > 0 routes admitted queries through
+  /// a batch scheduler: the first query opens a window this long, every
+  /// query admitted inside it joins the batch (up to batch_max), and the
+  /// batch shares one decoded-list provider and one vectored cold-page
+  /// prefetch. Execution-time only — batched results, match_ops and
+  /// per-query stats are identical to unbatched runs (see DESIGN.md).
+  uint64_t batch_window_us = 0;
+  /// Most queries per batch; a full batch dispatches before the window
+  /// closes.
+  size_t batch_max = 16;
   /// Deadline applied to requests submitted without an explicit timeout;
   /// zero means no deadline.
   std::chrono::milliseconds default_timeout{0};
@@ -75,6 +100,10 @@ struct QueryResponse {
   SearchResult result;
   /// True when the response came from the result cache.
   bool cache_hit = false;
+  /// True when the response came from attaching to an identical
+  /// in-flight execution (single-flight); this request ran no engine
+  /// work of its own.
+  bool coalesced = false;
   /// End-to-end submit-to-completion time.
   std::chrono::nanoseconds latency{0};
 };
@@ -158,12 +187,63 @@ class QueryService {
   std::string MetricsReport() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+  using ResponsePromise = std::promise<Result<QueryResponse>>;
+
+  /// One in-flight execution under single-flight: later identical
+  /// requests attach here as followers and are answered from the
+  /// leader's result. Lives in flights_ from leader admission until the
+  /// leader's completion retires it (atomically with the cache insert).
+  struct Flight {
+    struct Follower {
+      std::shared_ptr<ResponsePromise> promise;
+      Clock::time_point submitted;
+    };
+    std::vector<Follower> followers;
+  };
+
+  /// Everything one dispatched (leader) request carries to the worker.
+  struct Job {
+    std::vector<std::string> keywords;
+    SearchOptions options;
+    QueryCacheKey key;
+    /// True when flights_ holds an entry for `key` this job must retire.
+    bool in_flight = false;
+    std::shared_ptr<ResponsePromise> promise;
+    Clock::time_point submitted;
+    Clock::time_point deadline;
+  };
+
   QueryService(const XKSearch* engine, const DiskSearcher* searcher,
                const shard::ShardedCollection* collection,
                const QueryServiceOptions& options);
 
   Result<SearchResult> RunQuery(const std::vector<std::string>& keywords,
-                                const SearchOptions& options) const;
+                                const SearchOptions& options,
+                                DecodedListProvider* provider) const;
+
+  /// Worker body of a dispatched request: deadline check, engine run,
+  /// atomic cache-insert + flight-retire, responses to leader and every
+  /// follower. `provider` is the batch's shared decoded-list provider
+  /// (null on the unbatched path — the hot-list cache is used directly).
+  void ExecuteJob(const std::shared_ptr<Job>& job,
+                  DecodedListProvider* provider);
+
+  /// Fails every follower of job's flight (and the leader) with
+  /// `status`; used when admission fails after the flight registered.
+  void AbortFlight(const std::shared_ptr<Job>& job, const Status& status);
+
+  /// Batch-formation hook: size metrics plus the batch's one vectored
+  /// cold-page prefetch (merged, deduplicated, capped; errors swallowed
+  /// — a failed prefetch just means the members fault pages in
+  /// themselves).
+  void OnBatch(const std::vector<Batcher::Item>& batch);
+
+  /// Predicted cold scan-leaf pages for a disk-backed query (empty for
+  /// pure in-memory and sharded backends).
+  std::vector<PageId> PredictColdPages(
+      const std::vector<std::string>& normalized,
+      const SearchOptions& options) const;
 
   // Exactly one of engine_/searcher_/collection_ is set.
   const XKSearch* engine_;
@@ -177,14 +257,30 @@ class QueryService {
   /// SearchOptions they carry, so it must outlive the pool join.
   std::unique_ptr<HotListCache> hot_lists_;
   std::atomic<bool> stopped_{false};
+  /// Guards flights_ AND serializes result-cache publication with
+  /// lookup+attach: a completing leader inserts into cache_ and retires
+  /// its flight under this mutex, and a submitter looks up the cache and
+  /// attaches to (or registers) a flight under it too — so a request
+  /// either sees the cached result or the flight that will produce it,
+  /// never the gap in between.
+  std::mutex flight_mu_;
+  std::unordered_map<QueryCacheKey, std::shared_ptr<Flight>,
+                     QueryCacheKeyHash>
+      flights_;
   // Declared before pool_ so they are destroyed after it: request
   // workers wait for their chunk tasks inline, so once pool_ has joined
   // nothing can touch the chunk pool or its budget.
   std::unique_ptr<ThreadPool> chunk_pool_;
   std::unique_ptr<ConcurrencyBudget> chunk_budget_;
-  // Last member: destroyed (joined) first, so in-flight tasks never see
-  // partially-destroyed cache/metrics.
+  // Destroyed (joined) before everything above it, so in-flight tasks
+  // never see partially-destroyed cache/metrics.
   ThreadPool pool_;
+  /// Batch scheduler (batch_window_us > 0 only); constructed in the
+  /// ctor body once pool_ exists. Last member on purpose: destroyed
+  /// first, and its Stop() drains every admitted query into the
+  /// still-alive pool before the collector joins. Shutdown stops it
+  /// before the pool for the same reason.
+  std::unique_ptr<Batcher> batcher_;
 };
 
 }  // namespace serve

@@ -143,6 +143,160 @@ Status BufferPool::EvictOneLocked(Shard* shard) {
   return Status::Internal("buffer pool exhausted: all pages pinned");
 }
 
+Result<std::vector<PageRef>> BufferPool::FetchMany(std::span<const PageId> ids,
+                                                   QueryStats* stats) {
+  std::vector<PageRef> out;
+  if (ids.empty()) return out;
+  std::vector<PageId> unique(ids.begin(), ids.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  // One in-flight placeholder staked by this batch.
+  struct Pending {
+    PageId id;
+    Frame* frame;
+    std::shared_ptr<internal::LoadState> load;
+  };
+  std::vector<Pending> loads;
+  // Frames holding exactly one pin taken on this batch's behalf.
+  std::vector<std::pair<PageId, Frame*>> held;
+  // Pages deferred to the per-page path: already loading under another
+  // thread (wait on its LoadState) or in a momentarily all-pinned shard
+  // (PinFrame's yield-retry loop handles that).
+  std::vector<PageId> slow;
+
+  // Retires every staked placeholder with `st` and wakes its waiters;
+  // without this, an early error return would leave loading frames no
+  // one will ever complete.
+  auto fail_loads = [&](const Status& st) {
+    for (Pending& p : loads) {
+      Shard& shard = ShardFor(p.id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      p.load->done = true;
+      p.load->status = st;
+      shard.lru.erase(p.frame->lru_pos);
+      shard.frames.erase(p.id);
+      shard.cv.notify_all();
+    }
+    loads.clear();
+  };
+  auto drop_held = [&] {
+    for (auto& [id, frame] : held) {
+      frame->pin_count.fetch_sub(1, std::memory_order_release);
+    }
+    held.clear();
+  };
+
+  // Phase 1: under each shard lock, pin residents and stake pinned
+  // loading placeholders for absent pages (evicting cold frames as
+  // needed, exactly like a demand miss).
+  for (const PageId id : unique) {
+    Shard& shard = ShardFor(id);
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame& frame = it->second;
+      if (frame.loading) {
+        slow.push_back(id);
+        continue;
+      }
+      frame.pin_count.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, frame.lru_pos);
+      total_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) ++stats->page_hits;
+      held.emplace_back(id, &frame);
+      continue;
+    }
+    bool staked = true;
+    while (shard.frames.size() >= shard.capacity) {
+      const Status evicted = EvictOneLocked(&shard);
+      if (evicted.ok()) continue;
+      if (evicted.IsInternal()) {
+        // Everything pinned right now (possibly by this very batch in a
+        // tiny shard): let PinFrame's yield loop sort it out later.
+        slow.push_back(id);
+        staked = false;
+        break;
+      }
+      // Dirty write-back failed: abort the whole batch.
+      lock.unlock();
+      fail_loads(evicted);
+      drop_held();
+      if (stats != nullptr) ++stats->io_errors;
+      return evicted;
+    }
+    if (!staked) continue;
+    total_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) ++stats->page_reads;
+    Frame& frame = shard.frames[id];
+    frame.page = std::make_unique<Page>();
+    frame.pin_count.store(1, std::memory_order_relaxed);
+    frame.loading = true;
+    frame.load = std::make_shared<internal::LoadState>();
+    shard.lru.push_front(id);
+    frame.lru_pos = shard.lru.begin();
+    loads.push_back({id, &frame, frame.load});
+  }
+
+  // Phase 2: one vectored read for every staked page. `loads` follows
+  // `unique`'s order, so the id array is already sorted for ReadPages'
+  // contiguous-run batching.
+  if (!loads.empty()) {
+    std::vector<PageId> load_ids;
+    std::vector<Page*> load_pages;
+    load_ids.reserve(loads.size());
+    load_pages.reserve(loads.size());
+    for (const Pending& p : loads) {
+      load_ids.push_back(p.id);
+      load_pages.push_back(p.frame->page.get());
+    }
+    const Status read =
+        store_->ReadPages(load_ids.data(), load_ids.size(), load_pages.data());
+    if (!read.ok()) {
+      fail_loads(read);
+      drop_held();
+      if (stats != nullptr) ++stats->io_errors;
+      return read;
+    }
+    for (Pending& p : loads) {
+      Shard& shard = ShardFor(p.id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      p.load->done = true;
+      p.frame->loading = false;
+      p.frame->load.reset();
+      held.emplace_back(p.id, p.frame);
+      shard.cv.notify_all();
+    }
+    loads.clear();
+  }
+
+  // Phase 3: the deferred pages, one at a time (waits and yields happen
+  // here, after the batch I/O is already in flight or done).
+  for (const PageId id : slow) {
+    Result<Frame*> frame = PinFrame(id, stats, /*mark_dirty=*/false);
+    if (!frame.ok()) {
+      drop_held();
+      if (stats != nullptr) ++stats->io_errors;
+      return frame.status();
+    }
+    held.emplace_back(id, *frame);
+  }
+
+  // Phase 4: hand the held pins over to the output refs in input order;
+  // duplicate ids pin their frame once more.
+  std::unordered_map<PageId, std::pair<Frame*, bool>> by_id;
+  by_id.reserve(held.size());
+  for (auto& [id, frame] : held) by_id.emplace(id, std::make_pair(frame, false));
+  out.reserve(ids.size());
+  for (const PageId id : ids) {
+    auto& [frame, consumed] = by_id.at(id);
+    if (consumed) frame->pin_count.fetch_add(1, std::memory_order_relaxed);
+    consumed = true;
+    out.emplace_back(id, frame);
+  }
+  return out;
+}
+
 Result<PageRef> BufferPool::Fetch(PageId id, QueryStats* stats) {
   Result<Frame*> frame = PinFrame(id, stats, /*mark_dirty=*/false);
   if (!frame.ok()) {
@@ -263,19 +417,71 @@ void BufferPool::Readahead(PageId first, size_t count, QueryStats* stats) {
   if (count == 0 || first >= n) return;
   count = std::min(count, static_cast<size_t>(n - first));
   store_->Prefetch(first, count);
+
+  // Stake unpinned loading placeholders for whichever of the pages are
+  // absent, then satisfy them all with one vectored store read instead
+  // of `count` independent round-trips. Demand fetches arriving mid-read
+  // coalesce onto the placeholders' LoadState exactly as before.
+  struct Pending {
+    PageId id;
+    Frame* frame;
+    std::shared_ptr<internal::LoadState> load;
+  };
+  std::vector<Pending> loads;
   for (size_t i = 0; i < count; ++i) {
-    Result<bool> loaded = LoadIfAbsent(first + static_cast<PageId>(i),
-                                       /*evict_if_full=*/true);
-    // Best effort: a failed speculative read just means the demand
-    // fetch will retry (and surface the error then, if it persists).
-    // The swallowed failure is still tallied so it shows up in stats.
-    if (!loaded.ok()) {
-      if (stats != nullptr) ++stats->io_errors;
-      continue;
+    const PageId id = first + static_cast<PageId>(i);
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.frames.count(id) != 0) continue;
+    bool room = true;
+    while (shard.frames.size() >= shard.capacity) {
+      // Speculative loads never fight pinned pages: when eviction finds
+      // nothing evictable, skip this page entirely.
+      if (!EvictOneLocked(&shard).ok()) {
+        room = false;
+        break;
+      }
     }
-    if (!*loaded) continue;
-    total_readaheads_.fetch_add(1, std::memory_order_relaxed);
-    if (stats != nullptr) ++stats->readahead_reads;
+    if (!room) continue;
+    Frame& frame = shard.frames[id];
+    frame.page = std::make_unique<Page>();
+    frame.loading = true;
+    frame.load = std::make_shared<internal::LoadState>();
+    shard.lru.push_front(id);
+    frame.lru_pos = shard.lru.begin();
+    loads.push_back({id, &frame, frame.load});
+  }
+  if (loads.empty()) return;
+
+  std::vector<PageId> ids;
+  std::vector<Page*> pages;
+  ids.reserve(loads.size());
+  pages.reserve(loads.size());
+  for (const Pending& p : loads) {
+    ids.push_back(p.id);
+    pages.push_back(p.frame->page.get());
+  }
+  const Status read = store_->ReadPages(ids.data(), ids.size(), pages.data());
+  for (Pending& p : loads) {
+    Shard& shard = ShardFor(p.id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    p.load->done = true;
+    p.load->status = read;
+    if (read.ok()) {
+      p.frame->loading = false;
+      p.frame->load.reset();
+      total_readaheads_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) ++stats->readahead_reads;
+    } else {
+      // Best effort: a failed speculative batch just means the demand
+      // fetches will retry (and surface the error then, if it
+      // persists). The swallowed failures are still tallied per page so
+      // they show up in stats.
+      shard.lru.erase(p.frame->lru_pos);
+      shard.frames.erase(p.id);
+      if (stats != nullptr) ++stats->io_errors;
+    }
+    shard.cv.notify_all();
   }
 }
 

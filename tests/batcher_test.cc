@@ -1,0 +1,317 @@
+// The cross-query batch scheduler: per-batch decoded-list sharing
+// (BatchListProvider), window/batch_max collection behaviour, drain on
+// stop, and end-to-end parity of batched QueryService execution.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/xksearch.h"
+#include "gen/dblp_generator.h"
+#include "gtest/gtest.h"
+#include "serve/batcher.h"
+#include "serve/query_service.h"
+#include "serve/thread_pool.h"
+#include "storage/wal.h"
+#include "test_util.h"
+
+namespace xksearch {
+namespace serve {
+namespace {
+
+std::unique_ptr<XKSearch> BuildCorpus() {
+  DblpOptions gen;
+  gen.papers = 600;
+  gen.seed = 7;
+  gen.plants = {{"alpha", 8}, {"bravo", 60}, {"carol", 400}};
+  Result<Document> doc = GenerateDblp(gen);
+  EXPECT_TRUE(doc.ok());
+  Result<std::unique_ptr<XKSearch>> system =
+      XKSearch::BuildFromDocument(std::move(*doc));
+  EXPECT_TRUE(system.ok());
+  return std::move(*system);
+}
+
+/// A base provider with a scripted answer, to verify layering order.
+class StubProvider : public DecodedListProvider {
+ public:
+  std::shared_ptr<const std::vector<DeweyId>> Get(
+      const PackedDeweyList* /*list*/) override {
+    ++gets;
+    return answer;
+  }
+  std::shared_ptr<const std::vector<DeweyId>> answer;
+  std::atomic<int> gets{0};
+};
+
+TEST(BatchListProviderTest, SharedListDecodedOncePerBatch) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const PackedDeweyList* carol = system->index().Find("carol");
+  ASSERT_NE(carol, nullptr);
+
+  BatchListProvider provider(/*base=*/nullptr);
+  provider.AddDemand(carol);
+  provider.AddDemand(carol);
+
+  // Racing members must converge on one decode of one shared copy.
+  std::vector<std::shared_ptr<const std::vector<DeweyId>>> copies(4);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < copies.size(); ++t) {
+    threads.emplace_back([&, t] { copies[t] = provider.Get(carol); });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& copy : copies) {
+    ASSERT_NE(copy, nullptr);
+    EXPECT_EQ(copy.get(), copies[0].get());
+  }
+  EXPECT_EQ(copies[0]->size(), carol->size());
+  const BatchListProvider::Stats stats = provider.GetStats();
+  EXPECT_EQ(stats.decodes, 1u);
+  EXPECT_EQ(stats.shared_hits, 3u);
+  EXPECT_EQ(provider.decoded_entries(), 1u);
+}
+
+TEST(BatchListProviderTest, SingleMemberListsDecline) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const PackedDeweyList* alpha = system->index().Find("alpha");
+  const PackedDeweyList* bravo = system->index().Find("bravo");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(bravo, nullptr);
+
+  BatchListProvider provider(/*base=*/nullptr);
+  provider.AddDemand(alpha);  // one member only
+  // bravo: no demand registered at all.
+  EXPECT_EQ(provider.Get(alpha), nullptr);
+  EXPECT_EQ(provider.Get(bravo), nullptr);
+  const BatchListProvider::Stats stats = provider.GetStats();
+  EXPECT_EQ(stats.decodes, 0u);
+  EXPECT_EQ(stats.declines, 2u);
+  EXPECT_EQ(provider.decoded_entries(), 0u);
+}
+
+TEST(BatchListProviderTest, BaseProviderAnswersFirst) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const PackedDeweyList* carol = system->index().Find("carol");
+  ASSERT_NE(carol, nullptr);
+
+  StubProvider base;
+  base.answer =
+      std::make_shared<const std::vector<DeweyId>>(carol->Materialize());
+  BatchListProvider provider(&base);
+  provider.AddDemand(carol);
+  provider.AddDemand(carol);
+
+  // Even a shared-demand list is served by the long-lived provider when
+  // it has the answer — no per-batch decode, sightings flow to the base.
+  std::shared_ptr<const std::vector<DeweyId>> got = provider.Get(carol);
+  EXPECT_EQ(got.get(), base.answer.get());
+  EXPECT_EQ(base.gets.load(), 1);
+  EXPECT_EQ(provider.GetStats().decodes, 0u);
+  EXPECT_EQ(provider.decoded_entries(), 0u);
+}
+
+TEST(BatchListProviderTest, DropsDecodedListsOnWalEpochChange) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const PackedDeweyList* carol = system->index().Find("carol");
+  ASSERT_NE(carol, nullptr);
+
+  BatchListProvider provider(/*base=*/nullptr);
+  provider.AddDemand(carol);
+  provider.AddDemand(carol);
+  provider.AddDemand(carol);
+
+  std::shared_ptr<const std::vector<DeweyId>> before = provider.Get(carol);
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(provider.decoded_entries(), 1u);
+
+  // An index commit lands mid-batch: the next Get must not hand out the
+  // pre-commit decode — the decoded map is dropped and rebuilt against
+  // the current arena generation.
+  WalCounters::Instance().commits.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const std::vector<DeweyId>> after = provider.Get(carol);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after.get(), before.get());
+  const BatchListProvider::Stats stats = provider.GetStats();
+  EXPECT_EQ(stats.epoch_drops, 1u);
+  EXPECT_EQ(stats.decodes, 2u);
+  // The copy handed out before the drop stays pinned and valid.
+  EXPECT_EQ(before->size(), carol->size());
+}
+
+TEST(BatcherTest, GroupsQueriesWithinWindowUnderOneProvider) {
+  ThreadPool::Options pool_options;
+  pool_options.workers = 4;
+  ThreadPool pool(pool_options);
+
+  std::mutex mu;
+  std::vector<size_t> batch_sizes;
+  std::set<const DecodedListProvider*> providers;
+  std::atomic<int> ran{0};
+
+  Batcher::Options options;
+  options.window_us = 200000;  // generous: all four land in one batch
+  options.batch_max = 16;
+  Batcher batcher(options, &pool, /*base=*/nullptr,
+                  [&](const std::vector<Batcher::Item>& batch) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    batch_sizes.push_back(batch.size());
+                  });
+
+  for (int i = 0; i < 4; ++i) {
+    Batcher::Item item;
+    item.run = [&](DecodedListProvider* provider) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        providers.insert(provider);
+      }
+      ran.fetch_add(1);
+    };
+    ASSERT_TRUE(batcher.Enqueue(std::move(item)).ok());
+  }
+  batcher.Stop();
+  pool.Stop(/*drain=*/true);
+
+  EXPECT_EQ(ran.load(), 4);
+  ASSERT_EQ(batch_sizes.size(), 1u);
+  EXPECT_EQ(batch_sizes[0], 4u);
+  // One batch => one shared provider for every member.
+  EXPECT_EQ(providers.size(), 1u);
+}
+
+TEST(BatcherTest, FullBatchDispatchesBeforeWindowCloses) {
+  ThreadPool::Options pool_options;
+  pool_options.workers = 2;
+  ThreadPool pool(pool_options);
+
+  std::promise<void> both_ran;
+  std::atomic<int> ran{0};
+  Batcher::Options options;
+  options.window_us = 2000000;  // 2s — far longer than the test budget
+  options.batch_max = 2;
+  Batcher batcher(options, &pool, nullptr, nullptr);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 2; ++i) {
+    Batcher::Item item;
+    item.run = [&](DecodedListProvider*) {
+      if (ran.fetch_add(1) + 1 == 2) both_ran.set_value();
+    };
+    ASSERT_TRUE(batcher.Enqueue(std::move(item)).ok());
+  }
+  std::future<void> done = both_ran.get_future();
+  ASSERT_EQ(done.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // A full batch must dispatch immediately, not sit out the 2s window.
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+  batcher.Stop();
+  pool.Stop(/*drain=*/true);
+}
+
+TEST(BatcherTest, StopDispatchesEverythingAdmitted) {
+  ThreadPool::Options pool_options;
+  pool_options.workers = 2;
+  ThreadPool pool(pool_options);
+
+  std::atomic<int> ran{0};
+  Batcher::Options options;
+  options.window_us = 500000;
+  options.batch_max = 3;
+  Batcher batcher(options, &pool, nullptr, nullptr);
+  for (int i = 0; i < 8; ++i) {
+    Batcher::Item item;
+    item.run = [&](DecodedListProvider*) { ran.fetch_add(1); };
+    ASSERT_TRUE(batcher.Enqueue(std::move(item)).ok());
+  }
+  // Stop without waiting out the window: every admitted item still runs.
+  batcher.Stop();
+  pool.Stop(/*drain=*/true);
+  EXPECT_EQ(ran.load(), 8);
+  // And the batcher rejects (never silently drops) after Stop.
+  Batcher::Item late;
+  late.run = [&](DecodedListProvider*) { ran.fetch_add(1); };
+  EXPECT_TRUE(batcher.Enqueue(std::move(late)).IsUnavailable());
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(BatcherTest, BoundedQueueRejectsBeyondCapacity) {
+  ThreadPool::Options pool_options;
+  pool_options.workers = 1;
+  ThreadPool pool(pool_options);
+
+  Batcher::Options options;
+  options.window_us = 300000;  // items sit in the window while we fill up
+  options.batch_max = 64;
+  options.queue_capacity = 2;
+  Batcher batcher(options, &pool, nullptr, nullptr);
+  Batcher::Item a, b, c;
+  a.run = b.run = c.run = [](DecodedListProvider*) {};
+  ASSERT_TRUE(batcher.Enqueue(std::move(a)).ok());
+  ASSERT_TRUE(batcher.Enqueue(std::move(b)).ok());
+  EXPECT_TRUE(batcher.Enqueue(std::move(c)).IsUnavailable());
+  batcher.Stop();
+  pool.Stop(/*drain=*/true);
+}
+
+// --- End-to-end: a batched QueryService returns bitwise-identical
+// results and Table-1 counters, while sharing decodes across members.
+
+TEST(BatchedServiceTest, BatchedExecutionMatchesUnbatchedAndSharesDecodes) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+
+  const std::vector<std::vector<std::string>> queries = {
+      {"alpha", "carol"}, {"bravo", "carol"}, {"alpha", "bravo"},
+      {"carol", "alpha"},  // same canonical query as the first
+      {"bravo", "carol", "alpha"},
+  };
+  // Reference: the raw engine, no serving layer at all.
+  std::vector<SearchResult> reference;
+  for (const auto& query : queries) {
+    Result<SearchResult> r = system->Search(query, SearchOptions());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    reference.push_back(std::move(*r));
+  }
+
+  QueryServiceOptions options;
+  options.pool.workers = 4;
+  options.enable_cache = false;
+  options.single_flight = false;  // every submission must really execute
+  options.batch_window_us = 50000;
+  options.batch_max = 16;
+  QueryService service(system.get(), options);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (const auto& query : queries) {
+    futures.push_back(service.Submit(query, SearchOptions()));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<QueryResponse> response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->result.nodes, reference[i].nodes) << "query " << i;
+    EXPECT_EQ(static_cast<uint64_t>(response->result.stats.match_ops),
+              static_cast<uint64_t>(reference[i].stats.match_ops))
+        << "query " << i;
+    EXPECT_EQ(static_cast<uint64_t>(response->result.stats.results),
+              static_cast<uint64_t>(reference[i].stats.results))
+        << "query " << i;
+  }
+
+  const MetricsRegistry& metrics = service.metrics();
+  EXPECT_GE(static_cast<uint64_t>(metrics.batches), 1u);
+  EXPECT_EQ(static_cast<uint64_t>(metrics.batched_queries), queries.size());
+  EXPECT_EQ(metrics.batch_size.count(), 1u);
+  // Every query wants "carol" or "bravo" alongside others; with all five
+  // in one 50ms window at least one list is demanded twice and shared.
+  EXPECT_GE(static_cast<uint64_t>(metrics.shared_decodes), 1u);
+  const std::string report = service.MetricsReport();
+  EXPECT_NE(report.find("batches:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace xksearch

@@ -308,6 +308,10 @@ TEST(QueryServiceTest, ShedsLoadWhenQueueFull) {
   options.pool.workers = 1;
   options.pool.queue_capacity = 1;
   options.enable_cache = false;
+  // Identical queries would coalesce onto one flight instead of piling
+  // into the queue (see the SingleFlight tests); turn that off so the
+  // submissions genuinely contend for queue slots.
+  options.single_flight = false;
   options.synthetic_backend_latency = std::chrono::microseconds(20000);
   QueryService service(system.get(), options);
 
@@ -714,6 +718,159 @@ TEST(QueryServiceTest, HotListServingMatchesColdResultsAndReports) {
   Result<QueryResponse> after = service.Search(query);
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->result.nodes, cold->result.nodes);
+}
+
+// --- Single-flight coalescing.
+
+TEST(SingleFlightTest, CoalescedQueriesShareOneExecutionAndDecodeNothing) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const std::vector<std::string> query = {"alpha", "carol"};
+  Result<SearchResult> reference = system->Search(query);
+  ASSERT_TRUE(reference.ok());
+
+  QueryServiceOptions options;
+  options.pool.workers = 2;
+  options.enable_cache = false;  // isolate single-flight from the cache
+  options.single_flight = true;
+  // Widen the in-flight window so the follower submissions below land
+  // while the leader is still executing.
+  options.synthetic_backend_latency = std::chrono::microseconds(50000);
+  QueryService service(system.get(), options);
+
+  // The flight registers synchronously at Submit, so every follower
+  // attaches no matter when the leader's worker picks the job up.
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.Submit(query, SearchOptions()));
+  }
+  int coalesced = 0;
+  for (auto& future : futures) {
+    Result<QueryResponse> response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->cache_hit);
+    EXPECT_EQ(response->result.nodes, reference->nodes);
+    EXPECT_EQ(response->result.stats.match_ops.load(),
+              reference->stats.match_ops.load());
+    if (response->coalesced) ++coalesced;
+  }
+  EXPECT_EQ(coalesced, 5);
+  EXPECT_EQ(service.metrics().coalesced_queries, 5u);
+  EXPECT_EQ(service.metrics().requests, 6u);
+  EXPECT_EQ(service.metrics().completed, 6u);
+  // The aggregate engine counters advanced by exactly ONE execution:
+  // the five coalesced requests decoded and matched nothing of their
+  // own. (postings_read covers the decode side, match_ops the SLCA
+  // side; both would be ~6x on a service that ran every duplicate.)
+  EXPECT_EQ(service.metrics().engine_stats.match_ops.load(),
+            reference->stats.match_ops.load());
+  EXPECT_EQ(service.metrics().engine_stats.postings_read.load(),
+            reference->stats.postings_read.load());
+  const std::string report = service.MetricsReport();
+  EXPECT_NE(report.find("coalesced:"), std::string::npos) << report;
+}
+
+// Regression test for the result-cache stampede: a cache lookup that
+// missed used to race the miss's execution, so N identical queries
+// submitted before the first insert all executed. Publication is now
+// atomic with flight retirement: a submitter either hits the cache or
+// attaches to the in-flight execution, never the gap between them.
+TEST(SingleFlightTest, ClosesCacheLookupInsertRaceUnderStampede) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  const std::vector<std::string> query = {"bravo", "carol"};
+  Result<SearchResult> reference = system->Search(query);
+  ASSERT_TRUE(reference.ok());
+
+  QueryServiceOptions options;
+  options.pool.workers = 4;
+  options.enable_cache = true;
+  options.single_flight = true;
+  QueryService service(system.get(), options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 10;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        Result<QueryResponse> response = service.Search(query);
+        if (!response.ok() || response->result.nodes != reference->nodes) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(service.metrics().requests, uint64_t{kThreads * kRounds});
+  EXPECT_EQ(service.metrics().completed, uint64_t{kThreads * kRounds});
+  // The stampede collapses to exactly one engine execution: everyone
+  // else was a cache hit or a coalesced follower.
+  EXPECT_EQ(service.metrics().engine_stats.match_ops.load(),
+            reference->stats.match_ops.load());
+  EXPECT_EQ(static_cast<uint64_t>(service.metrics().cache_hits) +
+                static_cast<uint64_t>(service.metrics().coalesced_queries),
+            uint64_t{kThreads * kRounds - 1});
+}
+
+TEST(SingleFlightTest, ExpiredLeaderStillServesItsFollowers) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  QueryServiceOptions options;
+  options.pool.workers = 1;  // one worker: the blocker delays the leader
+  options.enable_cache = false;
+  options.single_flight = true;
+  options.synthetic_backend_latency = std::chrono::microseconds(30000);
+  QueryService service(system.get(), options);
+
+  // Occupy the only worker for ~30ms.
+  std::future<Result<QueryResponse>> blocker =
+      service.Submit({"alpha"}, SearchOptions());
+  // The leader's 5ms deadline will have passed by pickup; the followers
+  // (no deadline) attach to its flight meanwhile.
+  std::future<Result<QueryResponse>> leader = service.SubmitWithTimeout(
+      {"bravo", "carol"}, SearchOptions(), std::chrono::milliseconds(5));
+  std::vector<std::future<Result<QueryResponse>>> followers;
+  for (int i = 0; i < 3; ++i) {
+    followers.push_back(service.Submit({"bravo", "carol"}, SearchOptions()));
+  }
+
+  ASSERT_TRUE(blocker.get().ok());
+  const Result<QueryResponse> expired = leader.get();
+  ASSERT_FALSE(expired.ok());
+  EXPECT_TRUE(expired.status().IsDeadlineExceeded())
+      << expired.status().ToString();
+  // The execution still happened — for the followers' sake.
+  for (auto& future : followers) {
+    Result<QueryResponse> response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->coalesced);
+  }
+  EXPECT_EQ(service.metrics().deadline_exceeded, 1u);
+  EXPECT_EQ(service.metrics().coalesced_queries, 3u);
+}
+
+TEST(SingleFlightTest, DistinctQueriesNeverCoalesce) {
+  std::unique_ptr<XKSearch> system = BuildCorpus();
+  QueryServiceOptions options;
+  options.pool.workers = 2;
+  options.enable_cache = false;
+  options.single_flight = true;
+  options.synthetic_backend_latency = std::chrono::microseconds(20000);
+  QueryService service(system.get(), options);
+
+  // Same in-flight window, different canonical keys.
+  std::future<Result<QueryResponse>> a =
+      service.Submit({"alpha"}, SearchOptions());
+  std::future<Result<QueryResponse>> b =
+      service.Submit({"bravo"}, SearchOptions());
+  SearchOptions scan;
+  scan.algorithm = AlgorithmChoice::kScanEager;
+  // Same keywords but different semantic options: its own flight too.
+  std::future<Result<QueryResponse>> c = service.Submit({"alpha"}, scan);
+  ASSERT_TRUE(a.get().ok());
+  ASSERT_TRUE(b.get().ok());
+  ASSERT_TRUE(c.get().ok());
+  EXPECT_EQ(service.metrics().coalesced_queries, 0u);
 }
 
 }  // namespace

@@ -45,6 +45,16 @@ if [ "$run_slow" -eq 1 ]; then
   # stitcher, chunk planning and the engine wiring as one visible line.
   echo "==> [parallel-slca] chunked intra-query stage (release build)"
   ctest --test-dir build/release -R 'ParallelSlca' --output-on-failure
+  # Cross-query batching: single-flight coalescing, the batch scheduler,
+  # shared decoded-list providers and the vectored multi-page read path
+  # as one visible line, plus a short xk_fuzz batch-parity smoke (the
+  # full soak rides in -L slow as xk_fuzz_long_batched).
+  echo "==> [batched] cross-query batching stage (release build)"
+  ctest --test-dir build/release \
+    -R '(Batcher|SingleFlight|BatchListProvider|BatchedService|FetchMany|ReadPages)' \
+    --output-on-failure
+  ./build/release/tools/xk_fuzz --cases=30 --seed=910 --batch=4 \
+    --no-shards --no-chunks
   # Crash consistency: the WAL frame/recovery suites plus the exhaustive
   # crash-point sweep (fast scale; the scale-3 run rides in -L slow).
   echo "==> [crash-recovery] WAL + crash-point sweep stage (release build)"
